@@ -1,0 +1,90 @@
+//! End-to-end pipeline benchmark: one full profile window (access stream +
+//! sampling + model + filter + migration) under each placement model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tierscape_core::prelude::*;
+use ts_sim::{Fidelity, SimConfig, TieredSystem};
+use ts_workloads::{Scale, WorkloadId};
+
+/// Short measurement windows: these benches validate orderings, not
+/// nanosecond-precision regressions, and the full suite must stay fast.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_window");
+    g.sample_size(10);
+    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn PlacementPolicy>>)> = vec![
+        (
+            "waterfall",
+            Box::new(|| Box::new(WaterfallModel::new(25.0))),
+        ),
+        ("am_tco", Box::new(|| Box::new(AnalyticalModel::am_tco()))),
+        (
+            "threshold",
+            Box::new(|| Box::new(ThresholdPolicy::gswap(25.0))),
+        ),
+    ];
+    for (name, mk) in policies {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter_batched(
+                || {
+                    let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, 7);
+                    let rss = w.rss_bytes();
+                    let system =
+                        TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, 7), w)
+                            .expect("valid setup");
+                    (system, mk())
+                },
+                |(mut system, mut policy)| {
+                    let cfg = DaemonConfig {
+                        window_accesses: 20_000,
+                        windows: 1,
+                        ..DaemonConfig::default()
+                    };
+                    black_box(run_daemon(&mut system, policy.as_mut(), &cfg))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_path");
+    g.sample_size(20);
+    // Hit path: all pages in DRAM.
+    g.bench_function("dram_hit", |b| {
+        let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, 7);
+        let rss = w.rss_bytes();
+        let mut system = TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, 7), w)
+            .expect("valid setup");
+        b.iter(|| black_box(system.step()))
+    });
+    // Fault-heavy path: everything compressed, every access faults.
+    g.bench_function("compressed_fault_mix", |b| {
+        let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, 7);
+        let rss = w.rss_bytes();
+        let mut system = TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, 7), w)
+            .expect("valid setup");
+        for r in 0..system.total_regions() {
+            let _ = system.migrate_region(r, ts_sim::Placement::Compressed(1));
+        }
+        b.iter(|| black_box(system.step()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_window, bench_access_path
+}
+criterion_main!(benches);

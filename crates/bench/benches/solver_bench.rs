@@ -1,0 +1,80 @@
+//! Solver scaling benchmarks: MCKP greedy vs exact DP as the region count
+//! grows, plus the general simplex. Substantiates the paper's observation
+//! that the placement ILP is cheap (§8.4: < 0.3 % of a CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use ts_solver::mckp::{MckpItem, MckpProblem};
+use ts_solver::simplex::{LinearProgram, Relation};
+
+/// A TierScape-shaped MCKP: `n` regions x 6 tiers, decaying hotness.
+fn problem(n: usize) -> MckpProblem {
+    let groups = (0..n)
+        .map(|r| {
+            let h = 1000.0 / (1.0 + r as f64); // Zipf-ish hotness.
+            (0..6)
+                .map(|t| {
+                    let lat = [0.0, 300.0, 2000.0, 4000.0, 5000.0, 12000.0][t];
+                    let cost = [12.0, 4.0, 6.0, 2.0, 5.5, 1.2][t];
+                    MckpItem::new(h * lat, cost)
+                })
+                .collect()
+        })
+        .collect();
+    MckpProblem {
+        groups,
+        budget: 4.0 * n as f64,
+    }
+}
+
+/// Short measurement windows: these benches validate orderings, not
+/// nanosecond-precision regressions, and the full suite must stay fast.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+fn bench_mckp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mckp");
+    g.sample_size(15);
+    for n in [64usize, 256, 1024, 4096] {
+        let p = problem(n);
+        g.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
+            b.iter(|| black_box(p.solve_greedy().expect("feasible")))
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("exact_dp", n), &p, |b, p| {
+                b.iter(|| black_box(p.solve_exact_dp(2048).expect("feasible")))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    g.sample_size(15);
+    for n in [8usize, 16, 32] {
+        let mut lp = LinearProgram::maximize((0..n).map(|i| 1.0 + (i % 5) as f64).collect());
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp = lp.constrain(row, Relation::Le, 1.0);
+        }
+        lp = lp.constrain(vec![1.0; n], Relation::Le, n as f64 / 3.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| black_box(lp.solve().expect("feasible")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_mckp, bench_simplex
+}
+criterion_main!(benches);

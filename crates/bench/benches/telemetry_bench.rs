@@ -1,0 +1,90 @@
+//! Telemetry micro-benchmarks: per-event sampling cost and window folding.
+//! The record path runs on every simulated access, so its cost bounds how
+//! large the figure sweeps can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use ts_telemetry::{HotnessTracker, Profiler, RegionCounts, TelemetryConfig};
+
+/// Short measurement windows: these benches validate orderings, not
+/// nanosecond-precision regressions, and the full suite must stay fast.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_record");
+    g.sample_size(20);
+    for period in [1u64, 64, 5000] {
+        let cfg = TelemetryConfig {
+            sample_period: period,
+            ..TelemetryConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(period), &cfg, |b, cfg| {
+            let mut p = Profiler::new(*cfg);
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = addr.wrapping_add(0x13_37_00).wrapping_rem(1 << 34);
+                p.record(black_box(addr), false);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fold_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_fold");
+    g.sample_size(20);
+    for regions in [128u64, 2048, 16384] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(regions),
+            &regions,
+            |b, &regions| {
+                let mut tracker = HotnessTracker::new(0.5);
+                b.iter(|| {
+                    let mut raw = std::collections::HashMap::new();
+                    for r in 0..regions {
+                        raw.insert(
+                            r,
+                            RegionCounts {
+                                loads: r % 97,
+                                stores: 0,
+                            },
+                        );
+                    }
+                    black_box(tracker.fold_window(raw))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let mut tracker = HotnessTracker::new(0.5);
+    let mut raw = std::collections::HashMap::new();
+    for r in 0..10_000u64 {
+        raw.insert(
+            r,
+            RegionCounts {
+                loads: (r * 7919) % 1001,
+                stores: 0,
+            },
+        );
+    }
+    let snap = tracker.fold_window(raw);
+    c.bench_function("telemetry_percentile_10k", |b| {
+        b.iter(|| black_box(snap.percentile(black_box(25.0))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_record, bench_fold_window, bench_percentile
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Extension experiment 3 (§9(i) + §9(iii)): tier-set selection.
+//!
+//! For each workload, profile one window, feed the profile to the greedy
+//! tier advisor, and report the recommended tier sets for K = 1..5 along
+//! with the expected TCO. Demonstrates both "selecting the optimal set of
+//! compressed tiers" and "determining the ideal number of tiers": the
+//! objective flattens once the workload's temperature/content diversity is
+//! covered.
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, s, BenchScale, Setup};
+use ts_sim::{Calibration, TieredSystem};
+use ts_telemetry::{Profiler, TelemetryConfig};
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let calib = Calibration::build(bs.seed);
+    header(
+        "Ext 3: tier-set advisor",
+        &["workload", "k", "tiers", "objective", "expected_tco_ratio"],
+    );
+    for wl in [
+        WorkloadId::MemcachedMemtier1k,
+        WorkloadId::MemcachedYcsb,
+        WorkloadId::XsBench,
+        WorkloadId::PageRank,
+    ] {
+        let w = wl.build(bs.scale, bs.seed);
+        let rss = w.rss_bytes();
+        let mut system =
+            TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+        let mut profiler = Profiler::new(TelemetryConfig {
+            sample_period: 29,
+            ..TelemetryConfig::default()
+        });
+        for _ in 0..bs.window_accesses {
+            let (a, _) = system.step();
+            profiler.record(a.addr, a.is_store);
+        }
+        let snapshot = profiler.end_window();
+        let profile = WorkloadProfile::from_system(&system, &snapshot);
+        for k in 1..=5usize {
+            let sel = TierSelector {
+                max_tiers: k,
+                lambda: 1e-5,
+                ..TierSelector::default()
+            };
+            let choice = sel.select(&profile, &calib);
+            let labels: Vec<String> = choice
+                .tiers
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{}/{}/{}",
+                        t.algorithm.name(),
+                        t.pool.name(),
+                        t.media.name()
+                    )
+                })
+                .collect();
+            row(&[
+                ("workload", s(wl.name())),
+                ("k", num(k as f64)),
+                ("tiers", s(labels.join(" + "))),
+                ("objective", num(choice.objective)),
+                ("expected_tco_ratio", num(choice.expected_tco_ratio)),
+            ]);
+        }
+    }
+}

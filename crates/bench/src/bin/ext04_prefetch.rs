@@ -1,0 +1,67 @@
+//! Extension experiment 4 (§3.2): trend prefetching on top of the
+//! analytical model.
+//!
+//! Compares AM-TCO with and without the [`PrefetchingPolicy`] wrapper on
+//! workloads with shifting access patterns (Memcached/YCSB with its
+//! scrambled-zipfian churn, BFS with its rotating frontier). Reported:
+//! compressed-tier faults (the cost prefetching attacks), slowdown and the
+//! savings give-back.
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, pct, row, s, BenchScale, Setup};
+use ts_sim::TieredSystem;
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    header(
+        "Ext 4: trend prefetching",
+        &[
+            "workload",
+            "policy",
+            "ct_faults",
+            "tco_savings_pct",
+            "slowdown_pct",
+            "prefetches",
+        ],
+    );
+    for wl in [
+        WorkloadId::MemcachedYcsb,
+        WorkloadId::Bfs,
+        WorkloadId::GraphSage,
+    ] {
+        // Plain AM-TCO.
+        let w = wl.build(bs.scale, bs.seed);
+        let rss = w.rss_bytes();
+        let mut system =
+            TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+        let mut plain = AnalyticalModel::am_tco();
+        let report = run_daemon(&mut system, &mut plain, &bs.daemon_config());
+        let faults: u64 = (0..2).map(|i| system.tier_stats(i).faults).sum();
+        row(&[
+            ("workload", s(wl.name())),
+            ("policy", s("AM-TCO")),
+            ("ct_faults", num(faults as f64)),
+            ("tco_savings_pct", num(pct(report.tco_savings()))),
+            ("slowdown_pct", num(pct(report.slowdown()))),
+            ("prefetches", num(0.0)),
+        ]);
+
+        // Prefetching AM-TCO.
+        let w = wl.build(bs.scale, bs.seed);
+        let mut system =
+            TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+        let mut pf = PrefetchingPolicy::new(AnalyticalModel::am_tco());
+        let report = run_daemon(&mut system, &mut pf, &bs.daemon_config());
+        let faults: u64 = (0..2).map(|i| system.tier_stats(i).faults).sum();
+        row(&[
+            ("workload", s(wl.name())),
+            ("policy", s("AM-TCO+PF")),
+            ("ct_faults", num(faults as f64)),
+            ("tco_savings_pct", num(pct(report.tco_savings()))),
+            ("slowdown_pct", num(pct(report.slowdown()))),
+            ("prefetches", num(pf.last_prefetches as f64)),
+        ]);
+    }
+    println!("\nprefetching trades a few points of savings for fewer slow-tier faults.");
+}

@@ -1,0 +1,36 @@
+//! Figure 7: standard mix of tiers — performance slowdown vs memory TCO
+//! savings for every workload and every tiering technique.
+//!
+//! Points toward high savings AND low slowdown dominate. The shape to
+//! reproduce: AM-TCO dominates the baselines on savings at comparable
+//! performance; AM-perf dominates on performance at comparable savings; the
+//! Waterfall model sits between the single-tier baselines and the
+//! analytical model.
+
+use ts_bench::{fig7_roster, fig7_workloads, header, num, pct, row, s, BenchScale};
+
+fn main() {
+    let bs = BenchScale::from_env();
+    header(
+        "Figure 7: perf slowdown vs TCO savings, standard mix",
+        &[
+            "workload",
+            "policy",
+            "tco_savings_pct",
+            "slowdown_pct",
+            "p95_us",
+        ],
+    );
+    for wl in fig7_workloads() {
+        for (mut policy, setup, label) in fig7_roster() {
+            let report = ts_bench::run_policy(wl, setup, policy.as_mut(), &bs);
+            row(&[
+                ("workload", s(wl.name())),
+                ("policy", s(label)),
+                ("tco_savings_pct", num(pct(report.tco_savings()))),
+                ("slowdown_pct", num(pct(report.slowdown()))),
+                ("p95_us", num(report.perf.p95_ns / 1000.0)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 8: Waterfall placement per window + TCO trend (Memcached/YCSB).
+//!
+//! (a) pages per tier per profile window — data first moves to the NVMM
+//! tier and then gradually ages toward the best-TCO tiers; (b) the
+//! corresponding memory TCO trend, split into DRAM-resident and
+//! NVMM-resident cost (compressed tiers live on those media).
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, BenchScale, Setup};
+use ts_mem::{MediaKind, PAGE_SIZE};
+use ts_sim::TieredSystem;
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let w = WorkloadId::MemcachedYcsb.build(bs.scale, bs.seed);
+    let rss = w.rss_bytes();
+    let mut system =
+        TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+    let mut policy = WaterfallModel::new(25.0);
+    let report = run_daemon(&mut system, &mut policy, &bs.daemon_config());
+
+    header(
+        "Figure 8a: Waterfall placement per window (pages)",
+        &["window", "dram", "nvmm", "ct1", "ct2"],
+    );
+    for wr in &report.windows {
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("dram", num(wr.actual[0] as f64)),
+            ("nvmm", num(wr.actual[1] as f64)),
+            ("ct1", num(wr.actual[2] as f64)),
+            ("ct2", num(wr.actual[3] as f64)),
+        ]);
+    }
+
+    header(
+        "Figure 8b: memory TCO trend by backing medium",
+        &["window", "tco_dram", "tco_nvmm", "tco_total"],
+    );
+    // Split the instantaneous TCO into DRAM- and NVMM-resident shares:
+    // resident pages by medium plus pool bytes by backing medium.
+    let dram_gb_cost = MediaKind::Dram.default_spec().cost_per_gb;
+    let nvmm_gb_cost = MediaKind::Nvmm.default_spec().cost_per_gb;
+    let cts = &system.config().compressed_tiers.clone();
+    for wr in &report.windows {
+        // actual = [dram, nvmm, ct1, ct2]; CT-1 backed by DRAM, CT-2 by NVMM.
+        let mut dram_bytes = wr.actual[0] as f64 * PAGE_SIZE as f64;
+        let mut nvmm_bytes = wr.actual[1] as f64 * PAGE_SIZE as f64;
+        for (i, t) in cts.iter().enumerate() {
+            let eff = system.tier_effective_ratio(i);
+            let bytes = wr.actual[2 + i] as f64 * PAGE_SIZE as f64 * eff;
+            match t.media {
+                MediaKind::Dram => dram_bytes += bytes,
+                _ => nvmm_bytes += bytes,
+            }
+        }
+        let tco_dram = dram_bytes / (1u64 << 30) as f64 * dram_gb_cost;
+        let tco_nvmm = nvmm_bytes / (1u64 << 30) as f64 * nvmm_gb_cost;
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("tco_dram", num(tco_dram)),
+            ("tco_nvmm", num(tco_nvmm)),
+            ("tco_total", num(wr.tco_now)),
+        ]);
+    }
+    println!(
+        "\nfinal: savings {:.1}% slowdown {:.1}%",
+        report.tco_savings() * 100.0,
+        report.slowdown() * 100.0
+    );
+}

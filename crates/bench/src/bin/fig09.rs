@@ -1,0 +1,80 @@
+//! Figure 9: AM-TCO deep dive (Memcached/YCSB): model recommendation vs
+//! ground reality, compressed-tier faults, and the hotness trend.
+//!
+//! The paper's observation to reproduce: the model recommends placing most
+//! pages in NVMM or CT-2; because Memcached/YCSB's access pattern keeps
+//! shifting, pages placed in CT-2 fault back quickly, so the *actual*
+//! population of CT-2 stays below the recommendation while its cumulative
+//! fault count keeps climbing.
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, BenchScale, Setup};
+use ts_sim::TieredSystem;
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let w = WorkloadId::MemcachedYcsb.build(bs.scale, bs.seed);
+    let rss = w.rss_bytes();
+    let mut system =
+        TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+    let mut policy = AnalyticalModel::am_tco();
+    let report = run_daemon(&mut system, &mut policy, &bs.daemon_config());
+
+    header(
+        "Figure 9a: AM-TCO recommended placement (pages)",
+        &["window", "dram", "nvmm", "ct1", "ct2"],
+    );
+    for wr in &report.windows {
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("dram", num(wr.recommended[0] as f64)),
+            ("nvmm", num(wr.recommended[1] as f64)),
+            ("ct1", num(wr.recommended[2] as f64)),
+            ("ct2", num(wr.recommended[3] as f64)),
+        ]);
+    }
+
+    header(
+        "Figure 9b: actual placement after migration (pages)",
+        &["window", "dram", "nvmm", "ct1", "ct2"],
+    );
+    for wr in &report.windows {
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("dram", num(wr.actual[0] as f64)),
+            ("nvmm", num(wr.actual[1] as f64)),
+            ("ct1", num(wr.actual[2] as f64)),
+            ("ct2", num(wr.actual[3] as f64)),
+        ]);
+    }
+
+    header(
+        "Figure 9c: cumulative faults in the compressed tiers",
+        &["window", "ct1_faults", "ct2_faults"],
+    );
+    for wr in &report.windows {
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("ct1_faults", num(wr.tier_faults[0] as f64)),
+            ("ct2_faults", num(wr.tier_faults[1] as f64)),
+        ]);
+    }
+
+    header(
+        "Figure 9d: hotness trend + TCO",
+        &["window", "hotness_total", "tco"],
+    );
+    for wr in &report.windows {
+        row(&[
+            ("window", num(wr.window as f64)),
+            ("hotness_total", num(wr.hotness_total)),
+            ("tco", num(wr.tco_now)),
+        ]);
+    }
+    println!(
+        "\nfinal: savings {:.1}% slowdown {:.1}%",
+        report.tco_savings() * 100.0,
+        report.slowdown() * 100.0
+    );
+}

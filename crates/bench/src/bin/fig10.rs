@@ -1,0 +1,59 @@
+//! Figure 10: multi-objective tuning with the knob (Memcached/YCSB).
+//!
+//! Five α values trace the achievable TCO/performance frontier of the
+//! analytical model; the baselines and Waterfall run at two hotness
+//! thresholds (25th and 75th percentile) for comparison. The shape to
+//! reproduce: the α sweep forms a monotone frontier that dominates the
+//! two-tier baselines and Waterfall.
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, pct, row, s, BenchScale, Setup};
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let wl = WorkloadId::MemcachedYcsb;
+    header(
+        "Figure 10: knob sweep vs baselines (Memcached/YCSB)",
+        &["policy", "param", "tco_savings_pct", "slowdown_pct"],
+    );
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut policy = AnalyticalModel::new(alpha).labeled(format!("AM a={alpha}"));
+        let report = ts_bench::run_policy(wl, Setup::StandardMix, &mut policy, &bs);
+        row(&[
+            ("policy", s("AM")),
+            ("param", num(alpha)),
+            ("tco_savings_pct", num(pct(report.tco_savings()))),
+            ("slowdown_pct", num(pct(report.slowdown()))),
+        ]);
+    }
+    for th in [25.0, 75.0] {
+        let runs: Vec<(Box<dyn PlacementPolicy>, Setup, &str)> = vec![
+            (
+                Box::new(ThresholdPolicy::hemem(th)),
+                Setup::DramNvmm,
+                "HeMem*",
+            ),
+            (
+                Box::new(ThresholdPolicy::gswap(th)),
+                Setup::SingleCt1,
+                "GSwap*",
+            ),
+            (
+                Box::new(ThresholdPolicy::tmo(th, 0)),
+                Setup::SingleCt2,
+                "TMO*",
+            ),
+            (Box::new(WaterfallModel::new(th)), Setup::StandardMix, "WF"),
+        ];
+        for (mut policy, setup, label) in runs {
+            let report = ts_bench::run_policy(wl, setup, policy.as_mut(), &bs);
+            row(&[
+                ("policy", s(label)),
+                ("param", num(th)),
+                ("tco_savings_pct", num(pct(report.tco_savings()))),
+                ("slowdown_pct", num(pct(report.slowdown()))),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 11: Redis tail latencies normalized to the all-DRAM baseline.
+//!
+//! Shapes to reproduce: TierScape's configurations beat the baselines on
+//! average and tail latency because pages scatter across tiers by hotness;
+//! and TMO* shows *better average* latency than HeMem* even though its
+//! compressed tier is slower per fault, because faulted pages land in DRAM
+//! and all subsequent accesses are fast (§8.2.4).
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, s, BenchScale, Setup};
+use ts_sim::TieredSystem;
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let wl = WorkloadId::RedisYcsb;
+
+    // DRAM baseline for normalization.
+    let w = wl.build(bs.scale, bs.seed);
+    let rss = w.rss_bytes();
+    let mut dram_system =
+        TieredSystem::new(Setup::DramNvmm.sim_config(rss, bs.seed), w).expect("valid setup");
+    for _ in 0..bs.windows * bs.window_accesses {
+        dram_system.step();
+    }
+    let base = dram_system.perf_report();
+
+    header(
+        "Figure 11: Redis latency normalized to DRAM",
+        &["policy", "avg_x", "p95_x", "p999_x"],
+    );
+    row(&[
+        ("policy", s("DRAM")),
+        ("avg_x", num(1.0)),
+        ("p95_x", num(1.0)),
+        ("p999_x", num(1.0)),
+    ]);
+    let runs: Vec<(Box<dyn PlacementPolicy>, Setup, &str)> = vec![
+        (
+            Box::new(ThresholdPolicy::hemem(25.0)),
+            Setup::DramNvmm,
+            "HeMem*",
+        ),
+        (
+            Box::new(ThresholdPolicy::gswap(25.0)),
+            Setup::SingleCt1,
+            "GSwap*",
+        ),
+        (
+            Box::new(ThresholdPolicy::tmo(25.0, 0)),
+            Setup::SingleCt2,
+            "TMO*",
+        ),
+        (
+            Box::new(WaterfallModel::new(25.0)),
+            Setup::StandardMix,
+            "WF",
+        ),
+        (
+            Box::new(AnalyticalModel::am_tco()),
+            Setup::StandardMix,
+            "AM-TCO",
+        ),
+        (
+            Box::new(AnalyticalModel::am_perf()),
+            Setup::StandardMix,
+            "AM-perf",
+        ),
+    ];
+    for (mut policy, setup, label) in runs {
+        let report = ts_bench::run_policy(wl, setup, policy.as_mut(), &bs);
+        row(&[
+            ("policy", s(label)),
+            (
+                "avg_x",
+                num(report.perf.mean_latency_ns / base.mean_latency_ns),
+            ),
+            ("p95_x", num(report.perf.p95_ns / base.p95_ns)),
+            ("p999_x", num(report.perf.p999_ns / base.p999_ns.max(1.0))),
+        ]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 12: six-tier placement recommendations under three aggressiveness
+//! settings (Memcached).
+//!
+//! Waterfall (WF) and the analytical model (AM) run on DRAM + C1/C2/C4/C7/
+//! C12 at conservative/moderate/aggressive settings (thresholds 25/50/75 pct
+//! for WF, α = 0.9/0.5/0.1 for AM). The shape to reproduce: WF fills tiers
+//! progressively window by window, while AM jumps straight to its target
+//! distribution; higher aggressiveness shifts mass toward the best-TCO
+//! tiers.
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, s, BenchScale, Setup};
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    let wl = WorkloadId::MemcachedMemtier1k;
+    header(
+        "Figure 12: six-tier placement (final window, pages per tier)",
+        &["policy", "setting", "dram", "c1", "c2", "c4", "c7", "c12"],
+    );
+    let settings: Vec<(&str, Box<dyn Fn() -> Box<dyn PlacementPolicy>>)> = vec![
+        ("WF-C", Box::new(|| Box::new(WaterfallModel::new(25.0)))),
+        ("WF-M", Box::new(|| Box::new(WaterfallModel::new(50.0)))),
+        ("WF-A", Box::new(|| Box::new(WaterfallModel::new(75.0)))),
+        ("AM-C", Box::new(|| Box::new(AnalyticalModel::new(0.9)))),
+        ("AM-M", Box::new(|| Box::new(AnalyticalModel::new(0.5)))),
+        ("AM-A", Box::new(|| Box::new(AnalyticalModel::new(0.1)))),
+    ];
+    for (label, mk) in settings {
+        let mut policy = mk();
+        let report = ts_bench::run_policy(wl, Setup::Spectrum, policy.as_mut(), &bs);
+        let last = report.windows.last().expect("at least one window");
+        row(&[
+            ("policy", s(&label[..2])),
+            ("setting", s(label)),
+            ("dram", num(last.actual[0] as f64)),
+            ("c1", num(last.actual[1] as f64)),
+            ("c2", num(last.actual[2] as f64)),
+            ("c4", num(last.actual[3] as f64)),
+            ("c7", num(last.actual[4] as f64)),
+            ("c12", num(last.actual[5] as f64)),
+        ]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 13: six-tier spectrum — slowdown vs TCO savings for GSwap*,
+//! Waterfall and the analytical model at three aggressiveness levels.
+//!
+//! Shapes to reproduce (§8.3.1): with five compressed tiers, WF and AM save
+//! substantially more TCO than single-tier GSwap* at similar or better
+//! performance, and the additional tiers raise the *achievable* savings
+//! ceiling vs the standard mix (e.g. Memcached/Redis reach higher total
+//! savings than with two compressed tiers).
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, pct, row, s, BenchScale, Setup};
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    header(
+        "Figure 13: six-tier spectrum, perf vs TCO",
+        &[
+            "workload",
+            "policy",
+            "setting",
+            "tco_savings_pct",
+            "slowdown_pct",
+        ],
+    );
+    let workloads = [
+        WorkloadId::MemcachedMemtier1k,
+        WorkloadId::MemcachedYcsb,
+        WorkloadId::RedisYcsb,
+        WorkloadId::Bfs,
+        WorkloadId::PageRank,
+        WorkloadId::XsBench,
+        WorkloadId::GraphSage,
+    ];
+    for wl in workloads {
+        // GSwap* on its native single-tier shape, at 3 thresholds.
+        for (setting, th) in [("C", 25.0), ("M", 50.0), ("A", 75.0)] {
+            let mut policy = ThresholdPolicy::gswap(th);
+            let report = ts_bench::run_policy(wl, Setup::SingleCt1, &mut policy, &bs);
+            emit(wl, "GS", setting, &report);
+        }
+        // Waterfall on the spectrum, at 3 thresholds.
+        for (setting, th) in [("C", 25.0), ("M", 50.0), ("A", 75.0)] {
+            let mut policy = WaterfallModel::new(th);
+            let report = ts_bench::run_policy(wl, Setup::Spectrum, &mut policy, &bs);
+            emit(wl, "WF", setting, &report);
+        }
+        // Analytical model on the spectrum, at 3 alphas.
+        for (setting, alpha) in [("C", 0.9), ("M", 0.5), ("A", 0.1)] {
+            let mut policy = AnalyticalModel::new(alpha);
+            let report = ts_bench::run_policy(wl, Setup::Spectrum, &mut policy, &bs);
+            emit(wl, "AM", setting, &report);
+        }
+    }
+}
+
+fn emit(wl: WorkloadId, policy: &str, setting: &str, report: &RunReport) {
+    row(&[
+        ("workload", s(wl.name())),
+        ("policy", s(policy)),
+        ("setting", s(setting)),
+        ("tco_savings_pct", num(pct(report.tco_savings()))),
+        ("slowdown_pct", num(pct(report.slowdown()))),
+    ]);
+}

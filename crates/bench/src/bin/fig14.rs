@@ -1,0 +1,92 @@
+//! Figure 14: TierScape tax — profiling, modeling and migration overhead.
+//!
+//! Memcached/memtier under five configurations: no daemon (baseline),
+//! only-profiling, AM-TCO and AM-perf with the ILP solver local, and both
+//! with the solver remote. Reported: daemon tax as a percent of application
+//! time, plus the solver-time share. The paper's findings to reproduce:
+//! profiling overhead is minimal, and local vs remote solving makes a
+//! negligible difference because the ILP is cheap (< 0.3 % of a CPU).
+
+use tierscape_core::prelude::*;
+use ts_bench::{header, num, row, s, BenchScale, Setup};
+use ts_sim::TieredSystem;
+use ts_workloads::WorkloadId;
+
+fn run_mode(label: &str, bs: &BenchScale, profile_only: bool, policy: Option<AnalyticalModel>) {
+    let wl = WorkloadId::MemcachedMemtier1k;
+    let w = wl.build(bs.scale, bs.seed);
+    let rss = w.rss_bytes();
+    let mut system =
+        TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+    let mut cfg = bs.daemon_config();
+    cfg.profile_only = profile_only;
+    let mut policy = policy.unwrap_or_else(AnalyticalModel::am_tco);
+    let report = run_daemon(&mut system, &mut policy, &cfg);
+    let solver_total: f64 = report.windows.iter().map(|w| w.solver_cost_ns).sum();
+    let migration_total: f64 = report.windows.iter().map(|w| w.migration_cost_ns).sum();
+    row(&[
+        ("mode", s(label)),
+        (
+            "tax_pct",
+            num((report.tax_fraction() * 1000.0).round() / 10.0),
+        ),
+        ("profiling_ms", num(report.profiling_ns / 1e6)),
+        ("solver_ms", num(solver_total / 1e6)),
+        ("migration_ms", num(migration_total / 1e6)),
+        ("app_ms", num(report.perf.app_time_ns / 1e6)),
+    ]);
+}
+
+fn main() {
+    let bs = BenchScale::from_env();
+    header(
+        "Figure 14: TierScape tax (Memcached/memtier)",
+        &[
+            "mode",
+            "tax_pct",
+            "profiling_ms",
+            "solver_ms",
+            "migration_ms",
+            "app_ms",
+        ],
+    );
+    // Baseline: no profiling, no migration.
+    {
+        let wl = WorkloadId::MemcachedMemtier1k;
+        let w = wl.build(bs.scale, bs.seed);
+        let rss = w.rss_bytes();
+        let mut system =
+            TieredSystem::new(Setup::StandardMix.sim_config(rss, bs.seed), w).expect("valid setup");
+        for _ in 0..bs.windows * bs.window_accesses {
+            system.step();
+        }
+        row(&[
+            ("mode", s("baseline")),
+            ("tax_pct", num(0.0)),
+            ("profiling_ms", num(0.0)),
+            ("solver_ms", num(0.0)),
+            ("migration_ms", num(0.0)),
+            ("app_ms", num(system.perf_report().app_time_ns / 1e6)),
+        ]);
+    }
+    run_mode("only-profiling", &bs, true, None);
+    run_mode("AM-TCO-local", &bs, false, Some(AnalyticalModel::am_tco()));
+    run_mode(
+        "AM-perf-local",
+        &bs,
+        false,
+        Some(AnalyticalModel::am_perf()),
+    );
+    run_mode(
+        "AM-TCO-remote",
+        &bs,
+        false,
+        Some(AnalyticalModel::am_tco().remote()),
+    );
+    run_mode(
+        "AM-perf-remote",
+        &bs,
+        false,
+        Some(AnalyticalModel::am_perf().remote()),
+    );
+}

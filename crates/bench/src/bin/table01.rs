@@ -1,0 +1,39 @@
+//! Table 1: the compressed-tier configuration space.
+//!
+//! Enumerates the 7 x 3 x 3 = 63 tiers constructible from the Linux options
+//! (compression algorithm x pool manager x backing medium) together with
+//! each tier's modeled single-page decompression latency and nominal
+//! compression ratio, demonstrating the latency/ratio spectrum TierScape
+//! exploits.
+
+use ts_bench::{header, num, row, s};
+use ts_zswap::TierConfig;
+
+fn main() {
+    let all = TierConfig::all();
+    header(
+        "Table 1: 63 compressed-tier configurations (algorithm x pool x media)",
+        &[
+            "label",
+            "algorithm",
+            "pool",
+            "media",
+            "decomp_us",
+            "comp_us",
+            "nominal_ratio",
+        ],
+    );
+    for t in &all {
+        row(&[
+            ("label", s(t.label.clone())),
+            ("algorithm", s(t.algorithm.name())),
+            ("pool", s(t.pool.name())),
+            ("media", s(t.media.name())),
+            ("decomp_us", num(t.decompress_latency_ns() / 1000.0)),
+            ("comp_us", num(t.compress_latency_ns() / 1000.0)),
+            ("nominal_ratio", num(t.nominal_ratio())),
+        ]);
+    }
+    println!("\ntotal tiers: {}", all.len());
+    assert_eq!(all.len(), 63, "7 algorithms x 3 pools x 3 media");
+}

@@ -1,0 +1,33 @@
+//! Table 2: the workload roster and their (scaled) resident set sizes.
+
+use ts_bench::{header, num, row, s, BenchScale};
+use ts_workloads::WorkloadId;
+
+fn main() {
+    let bs = BenchScale::from_env();
+    header(
+        "Table 2: workloads (RSS scaled by TS_SCALE_DIV)",
+        &[
+            "workload",
+            "description",
+            "paper_rss_gb",
+            "scaled_rss_mb",
+            "pages",
+            "regions",
+        ],
+    );
+    for id in WorkloadId::ALL {
+        let w = id.build(bs.scale, bs.seed);
+        row(&[
+            ("workload", s(id.name())),
+            ("description", s(id.description())),
+            ("paper_rss_gb", num(id.paper_rss_gb())),
+            (
+                "scaled_rss_mb",
+                num(w.rss_bytes() as f64 / (1 << 20) as f64),
+            ),
+            ("pages", num(w.total_pages() as f64)),
+            ("regions", num(w.total_pages().div_ceil(512) as f64)),
+        ]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Compressibility estimation helpers.
+//!
+//! TierScape's placement model must consider data compressibility before
+//! choosing a compressed tier (§3.3 of the paper: "even if the page is cold,
+//! it is not beneficial to place it in a compressed tier if the page is not
+//! compressible"). These helpers provide a cheap pre-filter, analogous to the
+//! heuristics used by production swap compressors.
+
+/// Shannon entropy of the byte distribution of `data`, in bits per byte.
+///
+/// Returns 0.0 for empty input. The value lies in `[0, 8]`.
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    let mut h = 0.0f64;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Coarse compressibility classes used by placement heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressClass {
+    /// Near-constant data (zero pages, padding): ratio well under 0.1.
+    Trivial,
+    /// Structured/text data: ratio roughly 0.2–0.5.
+    High,
+    /// Mixed binary data: ratio roughly 0.5–0.8.
+    Moderate,
+    /// High-entropy data: compression not worthwhile.
+    Incompressible,
+}
+
+/// Classify `data` by sampled byte entropy.
+///
+/// Samples at most 1024 bytes for speed, mirroring the constant-cost page
+/// heuristics feasible inside a fault path.
+pub fn classify(data: &[u8]) -> CompressClass {
+    let h = if data.len() <= 1024 {
+        shannon_entropy(data)
+    } else {
+        // Odd stride avoids aliasing with power-of-two periodic content.
+        let step = (data.len() / 1024) | 1;
+        let sample: Vec<u8> = data.iter().step_by(step).copied().collect();
+        shannon_entropy(&sample)
+    };
+    if h < 1.0 {
+        CompressClass::Trivial
+    } else if h < 5.0 {
+        CompressClass::High
+    } else if h < 7.2 {
+        CompressClass::Moderate
+    } else {
+        CompressClass::Incompressible
+    }
+}
+
+/// Estimated compression ratio for a class: the midpoint of the class band.
+///
+/// Used by the modeled-fidelity simulator before real calibration data is
+/// available.
+pub fn class_ratio_estimate(class: CompressClass) -> f64 {
+    match class {
+        CompressClass::Trivial => 0.03,
+        CompressClass::High => 0.35,
+        CompressClass::Moderate => 0.65,
+        CompressClass::Incompressible => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_page_is_trivial() {
+        assert_eq!(classify(&[0u8; 4096]), CompressClass::Trivial);
+        assert!(shannon_entropy(&[0u8; 4096]) < 0.001);
+    }
+
+    #[test]
+    fn uniform_bytes_are_incompressible() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert!(shannon_entropy(&data) > 7.9);
+        assert_eq!(classify(&data), CompressClass::Incompressible);
+    }
+
+    #[test]
+    fn english_text_is_high() {
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect();
+        let h = shannon_entropy(&text);
+        assert!(h > 1.0 && h < 5.0, "entropy {h}");
+        assert_eq!(classify(&text), CompressClass::High);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(classify(&[]), CompressClass::Trivial);
+    }
+
+    #[test]
+    fn class_estimates_ordered() {
+        assert!(
+            class_ratio_estimate(CompressClass::Trivial)
+                < class_ratio_estimate(CompressClass::High)
+        );
+        assert!(
+            class_ratio_estimate(CompressClass::High)
+                < class_ratio_estimate(CompressClass::Moderate)
+        );
+        assert!(
+            class_ratio_estimate(CompressClass::Moderate)
+                <= class_ratio_estimate(CompressClass::Incompressible)
+        );
+    }
+
+    #[test]
+    fn large_input_sampled_classification() {
+        let big = vec![0xABu8; 1 << 20];
+        assert_eq!(classify(&big), CompressClass::Trivial);
+    }
+}

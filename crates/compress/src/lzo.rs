@@ -1,0 +1,336 @@
+//! LZO-style byte-aligned compressors: [`Lzo`] and [`LzoRle`].
+//!
+//! The format is byte-aligned with single-byte control codes, like LZO1X:
+//!
+//! * `0b0LLLLLLL` — literal run of `L + 1` bytes (1..=128), bytes follow.
+//! * `0b1MMMMMMM off_lo off_hi` — match of `M + 3` bytes at `off` (1..=65535).
+//!   `M == 0x7f` extends the length with a varint (`len = 130 + varint`).
+//!   `off == 0` switches the op to RLE: a single byte follows and is repeated
+//!   `len` times ([`LzoRle`] only; plain [`Lzo`] never emits it but its
+//!   decoder accepts it, mirroring how lzo-rle is a superset of lzo).
+//!
+//! Compression uses a depth-limited hash chain (deeper than LZ4's single
+//! probe, hence slightly slower and slightly denser), min match 3.
+
+use crate::bitio::{read_varint, write_varint};
+use crate::{Algorithm, Codec, CodecError, Result};
+
+const MIN_MATCH: usize = 3;
+const MAX_OFFSET: usize = 65535;
+/// Run length at which the RLE fast path kicks in.
+const RLE_THRESHOLD: usize = 16;
+
+/// Plain LZO-style codec.
+#[derive(Debug, Clone, Copy)]
+pub struct Lzo {
+    depth: usize,
+}
+
+impl Lzo {
+    /// Create an LZO codec with default effort.
+    pub fn new() -> Self {
+        Lzo { depth: 4 }
+    }
+}
+
+impl Default for Lzo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// LZO with the run-length fast path (kernel `lzo-rle`).
+#[derive(Debug, Clone, Copy)]
+pub struct LzoRle {
+    depth: usize,
+}
+
+impl LzoRle {
+    /// Create an LZO-RLE codec with default effort.
+    pub fn new() -> Self {
+        LzoRle { depth: 4 }
+    }
+}
+
+impl Default for LzoRle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn emit_literals(dst: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(128) {
+        dst.push((chunk.len() - 1) as u8);
+        dst.extend_from_slice(chunk);
+    }
+}
+
+fn emit_match(dst: &mut Vec<u8>, len: usize, offset: usize) {
+    debug_assert!(len >= MIN_MATCH);
+    debug_assert!(offset <= MAX_OFFSET);
+    let m = len - MIN_MATCH;
+    if m < 0x7f {
+        dst.push(0x80 | m as u8);
+    } else {
+        dst.push(0xff);
+        write_varint(dst, (m - 0x7f) as u64);
+    }
+    dst.extend_from_slice(&(offset as u16).to_le_bytes());
+}
+
+fn emit_rle(dst: &mut Vec<u8>, len: usize, byte: u8) {
+    debug_assert!(len >= MIN_MATCH);
+    let m = len - MIN_MATCH;
+    if m < 0x7f {
+        dst.push(0x80 | m as u8);
+    } else {
+        dst.push(0xff);
+        write_varint(dst, (m - 0x7f) as u64);
+    }
+    dst.extend_from_slice(&0u16.to_le_bytes());
+    dst.push(byte);
+}
+
+fn run_length(src: &[u8], pos: usize) -> usize {
+    let b = src[pos];
+    let mut n = 1;
+    while pos + n < src.len() && src[pos + n] == b {
+        n += 1;
+    }
+    n
+}
+
+fn compress_impl(src: &[u8], dst: &mut Vec<u8>, depth: usize, rle: bool) -> Result<usize> {
+    let before = dst.len();
+    if src.len() < MIN_MATCH {
+        if !src.is_empty() {
+            emit_literals(dst, src);
+        }
+        let written = dst.len() - before;
+        if written >= src.len() && !src.is_empty() {
+            dst.truncate(before);
+            return Err(CodecError::Incompressible {
+                input_len: src.len(),
+            });
+        }
+        return Ok(written);
+    }
+    // Shared hash-chain finder (thread-local scratch, no per-call allocs).
+    let mut mf = crate::lz77::MatchFinder::new(src, MAX_OFFSET, depth, src.len());
+    let mut anchor = 0usize;
+    let mut pos = 0usize;
+    let limit = src.len() - MIN_MATCH + 1;
+    while pos < limit {
+        // RLE fast path: long runs bypass the chain search entirely.
+        if rle {
+            let run = run_length(src, pos);
+            if run >= RLE_THRESHOLD {
+                if anchor < pos {
+                    emit_literals(dst, &src[anchor..pos]);
+                }
+                emit_rle(dst, run, src[pos]);
+                // Insert the head so later matches can reach the run.
+                mf.insert(pos);
+                pos += run;
+                anchor = pos;
+                continue;
+            }
+        }
+        let best = mf.best_match(pos);
+        mf.insert(pos);
+        if let Some((len, off)) = best {
+            let (best_len, best_off) = (len as usize, off as usize);
+            if anchor < pos {
+                emit_literals(dst, &src[anchor..pos]);
+            }
+            emit_match(dst, best_len, best_off);
+            let end = pos + best_len;
+            let mut p = pos + 1;
+            // Sparse insertion keeps compression cost bounded on long matches.
+            while p < end.min(limit) {
+                mf.insert(p);
+                p += if best_len > 64 { 8 } else { 1 };
+            }
+            pos = end;
+            anchor = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    if anchor < src.len() {
+        emit_literals(dst, &src[anchor..]);
+    }
+    let written = dst.len() - before;
+    if written >= src.len() {
+        dst.truncate(before);
+        return Err(CodecError::Incompressible {
+            input_len: src.len(),
+        });
+    }
+    Ok(written)
+}
+
+/// Decode an LZO/LZO-RLE stream; the decoder accepts both op sets.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Corrupt`] on malformed input.
+pub fn decompress_impl(src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+    let start = dst.len();
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let ctrl = src[pos];
+        pos += 1;
+        if ctrl & 0x80 == 0 {
+            let len = (ctrl & 0x7f) as usize + 1;
+            let end = pos + len;
+            if end > src.len() {
+                return Err(CodecError::Corrupt("lzo: literal run truncated"));
+            }
+            dst.extend_from_slice(&src[pos..end]);
+            pos = end;
+        } else {
+            let mut len = (ctrl & 0x7f) as usize;
+            if len == 0x7f {
+                len += read_varint(src, &mut pos)? as usize;
+            }
+            len += MIN_MATCH;
+            if pos + 2 > src.len() {
+                return Err(CodecError::Corrupt("lzo: offset truncated"));
+            }
+            let off = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+            pos += 2;
+            if off == 0 {
+                // RLE op: one byte repeated `len` times.
+                let b = *src
+                    .get(pos)
+                    .ok_or(CodecError::Corrupt("lzo: rle byte missing"))?;
+                pos += 1;
+                dst.extend(std::iter::repeat(b).take(len));
+            } else {
+                if off > dst.len() - start {
+                    return Err(CodecError::Corrupt("lzo: bad match offset"));
+                }
+                crate::lz77::copy_match(dst, off, len);
+            }
+        }
+    }
+    Ok(dst.len() - start)
+}
+
+impl Codec for Lzo {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Lzo
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        compress_impl(src, dst, self.depth, false)
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        decompress_impl(src, dst)
+    }
+}
+
+impl Codec for LzoRle {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::LzoRle
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        compress_impl(src, dst, self.depth, true)
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        decompress_impl(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_trip;
+
+    #[test]
+    fn lzo_round_trip_text() {
+        let data: Vec<u8> = b"to be or not to be, that is the question; "
+            .iter()
+            .copied()
+            .cycle()
+            .take(8192)
+            .collect();
+        let (clen, out) = round_trip(&Lzo::new(), &data).unwrap();
+        assert_eq!(out, data);
+        assert!(clen < data.len() / 2);
+    }
+
+    #[test]
+    fn rle_collapses_zero_page() {
+        let zeros = vec![0u8; 4096];
+        let mut plain = Vec::new();
+        let plain_len = Lzo::new().compress(&zeros, &mut plain).unwrap();
+        let mut rle = Vec::new();
+        let rle_len = LzoRle::new().compress(&zeros, &mut rle).unwrap();
+        assert!(rle_len <= plain_len);
+        assert!(rle_len < 16, "rle_len={rle_len}");
+        let (_, out) = round_trip(&LzoRle::new(), &zeros).unwrap();
+        assert_eq!(out, zeros);
+    }
+
+    #[test]
+    fn mixed_runs_and_text() {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            data.extend(std::iter::repeat(i as u8).take(40));
+            data.extend_from_slice(b"separator text in between runs ");
+        }
+        for codec in [&LzoRle::new() as &dyn Codec, &Lzo::new() as &dyn Codec] {
+            let (_, out) = round_trip(codec, &data).unwrap();
+            assert_eq!(out, data, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn long_match_extension() {
+        let mut data = b"prefix-".to_vec();
+        let block: Vec<u8> = (0..200u8).collect();
+        data.extend_from_slice(&block);
+        data.extend_from_slice(&block); // 200-byte match needs extended length.
+        data.extend_from_slice(&block);
+        let (_, out) = round_trip(&Lzo::new(), &data).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let data: Vec<u8> = b"abcabcabcabcabcabcabc"
+            .iter()
+            .copied()
+            .cycle()
+            .take(2048)
+            .collect();
+        let mut comp = Vec::new();
+        LzoRle::new().compress(&data, &mut comp).unwrap();
+        let mut out = Vec::new();
+        assert!(decompress_impl(&comp[..comp.len() - 3], &mut out).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut out = Vec::new();
+        // Empty compresses to empty (written == len == 0 is not "incompressible").
+        assert_eq!(Lzo::new().compress(&[], &mut out).unwrap(), 0);
+        let mut dec = Vec::new();
+        assert_eq!(decompress_impl(&out, &mut dec).unwrap(), 0);
+    }
+
+    #[test]
+    fn lzo_decoder_accepts_rle_stream() {
+        let data = vec![7u8; 1000];
+        let mut comp = Vec::new();
+        LzoRle::new().compress(&data, &mut comp).unwrap();
+        let mut out = Vec::new();
+        Lzo::new().decompress(&comp, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

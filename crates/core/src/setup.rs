@@ -1,0 +1,90 @@
+//! Convenience system setups matching the paper's two evaluation
+//! configurations (§8): the "standard mix" and the compressed-tier
+//! "spectrum".
+
+use ts_sim::{Fidelity, SimConfig};
+
+/// A named, ready-to-run tier configuration.
+#[derive(Debug, Clone)]
+pub struct SystemSetup {
+    sim: SimConfig,
+    labels: Vec<String>,
+}
+
+impl SystemSetup {
+    /// The standard mix (§8.1): DRAM + Optane NVMM + CT-1 (GSwap-style) +
+    /// CT-2 (TMO-style), sized for a 64 MiB default RSS.
+    pub fn standard_mix() -> Self {
+        Self::standard_mix_for(64 << 20, Fidelity::Modeled, 42)
+    }
+
+    /// The standard mix sized for a specific RSS.
+    pub fn standard_mix_for(rss: u64, fidelity: Fidelity, seed: u64) -> Self {
+        let sim = SimConfig::standard_mix(rss, fidelity, seed);
+        let labels = Self::labels_of(&sim);
+        SystemSetup { sim, labels }
+    }
+
+    /// The six-tier spectrum (§8.3): DRAM + C1, C2, C4, C7, C12.
+    pub fn spectrum() -> Self {
+        Self::spectrum_for(64 << 20, Fidelity::Modeled, 42)
+    }
+
+    /// The spectrum sized for a specific RSS.
+    pub fn spectrum_for(rss: u64, fidelity: Fidelity, seed: u64) -> Self {
+        let sim = SimConfig::spectrum(rss, fidelity, seed);
+        let labels = Self::labels_of(&sim);
+        SystemSetup { sim, labels }
+    }
+
+    fn labels_of(sim: &SimConfig) -> Vec<String> {
+        let mut labels = vec!["DRAM".to_string()];
+        for (kind, _) in &sim.byte_tiers {
+            labels.push(kind.name().to_uppercase());
+        }
+        for t in &sim.compressed_tiers {
+            labels.push(t.label.clone());
+        }
+        labels
+    }
+
+    /// Human-readable tier labels in placement order.
+    pub fn tiers(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The underlying simulator configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Consume into the simulator configuration.
+    pub fn into_sim_config(self) -> SimConfig {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mix_has_four_tiers() {
+        let s = SystemSetup::standard_mix();
+        assert_eq!(s.tiers(), &["DRAM", "NVMM", "CT-1", "CT-2"]);
+    }
+
+    #[test]
+    fn spectrum_has_six_tiers() {
+        let s = SystemSetup::spectrum();
+        assert_eq!(s.tiers(), &["DRAM", "C1", "C2", "C4", "C7", "C12"]);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let s = SystemSetup::standard_mix();
+        assert_eq!(s.sim_config().compressed_tiers.len(), 2);
+        let cfg = s.into_sim_config();
+        assert_eq!(cfg.byte_tiers.len(), 1);
+    }
+}

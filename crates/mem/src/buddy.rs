@@ -1,0 +1,295 @@
+//! Buddy allocator for page frames.
+//!
+//! A faithful reimplementation of the classic buddy system the Linux kernel
+//! uses for physical page allocation (the paper's §2 notes that zswap pools
+//! expand by allocating pages through the buddy allocator). Blocks of
+//! `2^order` contiguous frames are managed in per-order free lists; freeing a
+//! block coalesces it with its buddy when possible.
+
+use crate::FrameNumber;
+use std::collections::BTreeSet;
+
+/// Largest supported allocation order (`2^10` frames = 4 MiB blocks).
+pub const MAX_ORDER: u32 = 10;
+
+/// Errors returned by the buddy allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// No free block of the requested (or any larger) order exists.
+    OutOfMemory {
+        /// The order that could not be satisfied.
+        order: u32,
+    },
+    /// The requested order exceeds [`MAX_ORDER`].
+    OrderTooLarge {
+        /// The requested order.
+        order: u32,
+    },
+    /// Attempt to free a frame that is not currently allocated, or a
+    /// double-free, or a frame outside the managed range.
+    InvalidFree {
+        /// The offending frame.
+        frame: FrameNumber,
+    },
+}
+
+impl std::fmt::Display for BuddyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuddyError::OutOfMemory { order } => write!(f, "out of memory at order {order}"),
+            BuddyError::OrderTooLarge { order } => write!(f, "order {order} exceeds max"),
+            BuddyError::InvalidFree { frame } => write!(f, "invalid free of frame {frame:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuddyError {}
+
+/// A buddy allocator over `nframes` frames numbered `0..nframes`.
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    /// Free blocks per order, keyed by first frame number.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Allocated blocks: first frame -> order (needed to free without the
+    /// caller remembering the order).
+    allocated: std::collections::HashMap<u64, u32>,
+    nframes: u64,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Create an allocator managing `nframes` frames.
+    pub fn new(nframes: u64) -> Self {
+        let mut a = BuddyAllocator {
+            free_lists: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+            allocated: std::collections::HashMap::new(),
+            nframes,
+            free_frames: nframes,
+        };
+        // Seed free lists greedily with the largest aligned blocks.
+        let mut frame = 0u64;
+        while frame < nframes {
+            let mut order = MAX_ORDER;
+            loop {
+                let size = 1u64 << order;
+                if frame % size == 0 && frame + size <= nframes {
+                    break;
+                }
+                order -= 1;
+            }
+            a.free_lists[order as usize].insert(frame);
+            frame += 1u64 << order;
+        }
+        a
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.nframes
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Frames currently allocated.
+    pub fn used_frames(&self) -> u64 {
+        self.nframes - self.free_frames
+    }
+
+    /// Allocate a block of `2^order` contiguous frames.
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyError::OrderTooLarge`] if `order > MAX_ORDER`;
+    /// [`BuddyError::OutOfMemory`] if no block can satisfy the request.
+    pub fn alloc(&mut self, order: u32) -> Result<FrameNumber, BuddyError> {
+        if order > MAX_ORDER {
+            return Err(BuddyError::OrderTooLarge { order });
+        }
+        // Find the smallest order >= requested with a free block.
+        let mut o = order;
+        while o <= MAX_ORDER && self.free_lists[o as usize].is_empty() {
+            o += 1;
+        }
+        if o > MAX_ORDER {
+            return Err(BuddyError::OutOfMemory { order });
+        }
+        let first = *self.free_lists[o as usize]
+            .iter()
+            .next()
+            .expect("non-empty");
+        self.free_lists[o as usize].remove(&first);
+        // Split down to the requested order, returning upper halves to the
+        // free lists.
+        while o > order {
+            o -= 1;
+            let buddy = first + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.allocated.insert(first, order);
+        self.free_frames -= 1u64 << order;
+        Ok(FrameNumber(first))
+    }
+
+    /// Free a block previously returned by [`BuddyAllocator::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyError::InvalidFree`] on double free or unknown frame.
+    pub fn free(&mut self, frame: FrameNumber) -> Result<(), BuddyError> {
+        let first = frame.0;
+        let Some(order) = self.allocated.remove(&first) else {
+            return Err(BuddyError::InvalidFree { frame });
+        };
+        self.free_frames += 1u64 << order;
+        // Coalesce with buddies as far as possible.
+        let mut block = first;
+        let mut o = order;
+        while o < MAX_ORDER {
+            let buddy = block ^ (1u64 << o);
+            if buddy + (1u64 << o) > self.nframes || !self.free_lists[o as usize].contains(&buddy) {
+                break;
+            }
+            self.free_lists[o as usize].remove(&buddy);
+            block = block.min(buddy);
+            o += 1;
+        }
+        self.free_lists[o as usize].insert(block);
+        Ok(())
+    }
+
+    /// Number of free blocks at each order (diagnostics / fragmentation).
+    pub fn free_blocks_per_order(&self) -> Vec<usize> {
+        self.free_lists.iter().map(|l| l.len()).collect()
+    }
+
+    /// True if no frames are allocated.
+    pub fn is_idle(&self) -> bool {
+        self.free_frames == self.nframes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_single_frame() {
+        let mut b = BuddyAllocator::new(1024);
+        let f = b.alloc(0).unwrap();
+        assert_eq!(b.used_frames(), 1);
+        b.free(f).unwrap();
+        assert!(b.is_idle());
+    }
+
+    #[test]
+    fn full_coalescing_after_fragmentation() {
+        let mut b = BuddyAllocator::new(1024);
+        let frames: Vec<_> = (0..1024).map(|_| b.alloc(0).unwrap()).collect();
+        assert_eq!(b.free_frames(), 0);
+        assert!(b.alloc(0).is_err());
+        // Free in interleaved order to exercise coalescing paths.
+        for f in frames.iter().step_by(2) {
+            b.free(*f).unwrap();
+        }
+        for f in frames.iter().skip(1).step_by(2) {
+            b.free(*f).unwrap();
+        }
+        assert!(b.is_idle());
+        // After full coalescing, the max-order block must be available again.
+        assert!(b.alloc(MAX_ORDER).is_ok());
+    }
+
+    #[test]
+    fn split_and_refill() {
+        let mut b = BuddyAllocator::new(1 << MAX_ORDER);
+        // One big block initially.
+        assert_eq!(b.free_blocks_per_order()[MAX_ORDER as usize], 1);
+        let f = b.alloc(0).unwrap();
+        // Splitting creates one free block at each lower order.
+        let per = b.free_blocks_per_order();
+        for o in 0..MAX_ORDER as usize {
+            assert_eq!(per[o], 1, "order {o}");
+        }
+        b.free(f).unwrap();
+        assert_eq!(b.free_blocks_per_order()[MAX_ORDER as usize], 1);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut b = BuddyAllocator::new(64);
+        let f = b.alloc(0).unwrap();
+        b.free(f).unwrap();
+        assert_eq!(b.free(f), Err(BuddyError::InvalidFree { frame: f }));
+    }
+
+    #[test]
+    fn unknown_free_detected() {
+        let mut b = BuddyAllocator::new(64);
+        assert!(b.free(FrameNumber(7)).is_err());
+    }
+
+    #[test]
+    fn order_too_large() {
+        let mut b = BuddyAllocator::new(1 << 12);
+        assert_eq!(
+            b.alloc(MAX_ORDER + 1),
+            Err(BuddyError::OrderTooLarge {
+                order: MAX_ORDER + 1
+            })
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_capacity() {
+        let mut b = BuddyAllocator::new(1000);
+        assert_eq!(b.free_frames(), 1000);
+        let mut got = Vec::new();
+        while let Ok(f) = b.alloc(0) {
+            got.push(f);
+        }
+        assert_eq!(got.len(), 1000);
+        // All frames unique and in range.
+        let set: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), 1000);
+        assert!(got.iter().all(|f| f.0 < 1000));
+        for f in got {
+            b.free(f).unwrap();
+        }
+        assert!(b.is_idle());
+    }
+
+    #[test]
+    fn mixed_orders() {
+        let mut b = BuddyAllocator::new(1 << MAX_ORDER);
+        let a = b.alloc(3).unwrap();
+        let c = b.alloc(5).unwrap();
+        let d = b.alloc(0).unwrap();
+        assert_eq!(b.used_frames(), 8 + 32 + 1);
+        b.free(c).unwrap();
+        b.free(a).unwrap();
+        b.free(d).unwrap();
+        assert!(b.is_idle());
+        assert!(b.alloc(MAX_ORDER).is_ok());
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let mut b = BuddyAllocator::new(256);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for order in [2u32, 0, 3, 1, 4, 0, 2] {
+            let f = b.alloc(order).unwrap();
+            let span = (f.0, f.0 + (1 << order));
+            for &(s, e) in &spans {
+                assert!(
+                    span.1 <= s || span.0 >= e,
+                    "overlap {span:?} vs {:?}",
+                    (s, e)
+                );
+            }
+            spans.push(span);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Codec/content calibration for the modeled fidelity mode.
+//!
+//! Large sweeps cannot afford to really compress every page, so the
+//! simulator calibrates once at startup: for each (algorithm, content
+//! class), a handful of representative pages are generated and *really*
+//! compressed with this repository's codecs, and the measured ratios feed
+//! the model. Nothing is hard-coded from the paper: the numbers come from
+//! the same codecs that the `Real` fidelity mode runs inline.
+
+use std::collections::HashMap;
+use ts_compress::Algorithm;
+use ts_mem::PAGE_SIZE;
+use ts_workloads::PageClass;
+
+/// Number of sample pages compressed per (algorithm, class) pair.
+const SAMPLES: u64 = 8;
+
+/// Measured compression statistics for one (algorithm, class) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioStats {
+    /// Mean compressed/original ratio over the samples (1.0 = rejected).
+    pub mean: f64,
+    /// Standard deviation across samples.
+    pub std: f64,
+    /// Fraction of sample pages rejected as incompressible.
+    pub reject_rate: f64,
+}
+
+/// Calibration table: measured ratios per (algorithm, content class).
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    table: HashMap<(Algorithm, PageClass), RatioStats>,
+}
+
+impl Calibration {
+    /// Build a calibration table by really compressing sample pages.
+    pub fn build(seed: u64) -> Self {
+        let mut table = HashMap::new();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for &algo in &Algorithm::ALL {
+            let codec = algo.codec();
+            for &class in &PageClass::ALL {
+                let mut ratios = Vec::with_capacity(SAMPLES as usize);
+                let mut rejects = 0u64;
+                for s in 0..SAMPLES {
+                    class.fill(seed, s.wrapping_mul(0x9E37) ^ 0xCA11B, &mut buf);
+                    let mut out = Vec::with_capacity(PAGE_SIZE);
+                    match codec.compress(&buf, &mut out) {
+                        Ok(n) => ratios.push(n as f64 / PAGE_SIZE as f64),
+                        Err(_) => {
+                            rejects += 1;
+                            ratios.push(1.0);
+                        }
+                    }
+                }
+                let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+                    / ratios.len() as f64;
+                table.insert(
+                    (algo, class),
+                    RatioStats {
+                        mean,
+                        std: var.sqrt(),
+                        reject_rate: rejects as f64 / SAMPLES as f64,
+                    },
+                );
+            }
+        }
+        Calibration { table }
+    }
+
+    /// Stats for a pair; identity stats for [`Algorithm::Store`] or unknown
+    /// pairs.
+    pub fn stats(&self, algo: Algorithm, class: PageClass) -> RatioStats {
+        self.table
+            .get(&(algo, class))
+            .copied()
+            .unwrap_or(RatioStats {
+                mean: 1.0,
+                std: 0.0,
+                reject_rate: 1.0,
+            })
+    }
+
+    /// Modeled compressed length for a page, deterministic per `(page_tag)`:
+    /// mean plus a small per-page perturbation within one std.
+    ///
+    /// Returns `None` when the page would be rejected (incompressible).
+    pub fn modeled_len(&self, algo: Algorithm, class: PageClass, page_tag: u64) -> Option<usize> {
+        let s = self.stats(algo, class);
+        // Deterministic per-page jitter in [-1, 1).
+        let h = page_tag
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .rotate_left(17)
+            .wrapping_mul(0xBF58476D1CE4E5B9);
+        let jitter = ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        // Rejection: classes with a measured reject rate reject pages in
+        // that proportion (deterministically by tag).
+        if s.reject_rate > 0.0 {
+            let coin = (h >> 7) as f64 / u64::MAX as f64 * 2.0; // in [0, 2)
+            if coin.fract() < s.reject_rate {
+                return None;
+            }
+        }
+        let ratio = (s.mean + jitter * s.std).clamp(0.01, 1.0);
+        if ratio >= 0.995 {
+            return None;
+        }
+        Some((ratio * PAGE_SIZE as f64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_measures_real_orderings() {
+        let c = Calibration::build(42);
+        // deflate beats lz4 on text.
+        let d = c.stats(Algorithm::Deflate, PageClass::Text).mean;
+        let l = c.stats(Algorithm::Lz4, PageClass::Text).mean;
+        assert!(d < l, "deflate {d} vs lz4 {l}");
+        // Zero pages collapse everywhere.
+        for algo in [Algorithm::Lz4, Algorithm::Zstd, Algorithm::LzoRle] {
+            assert!(c.stats(algo, PageClass::Zero).mean < 0.1, "{algo}");
+        }
+        // Noise is rejected.
+        assert!(
+            c.stats(Algorithm::Lz4, PageClass::Incompressible)
+                .reject_rate
+                > 0.9
+        );
+    }
+
+    #[test]
+    fn modeled_len_deterministic_and_bounded() {
+        let c = Calibration::build(1);
+        for tag in 0..200u64 {
+            let a = c.modeled_len(Algorithm::Zstd, PageClass::Text, tag);
+            let b = c.modeled_len(Algorithm::Zstd, PageClass::Text, tag);
+            assert_eq!(a, b);
+            if let Some(n) = a {
+                assert!(n > 0 && n < PAGE_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_pages_rejected_in_model() {
+        let c = Calibration::build(1);
+        let rejected = (0..100u64)
+            .filter(|&t| {
+                c.modeled_len(Algorithm::Lz4, PageClass::Incompressible, t)
+                    .is_none()
+            })
+            .count();
+        assert!(rejected > 90, "rejected {rejected}");
+    }
+
+    #[test]
+    fn class_ordering_in_model() {
+        let c = Calibration::build(9);
+        let mean = |cl| c.stats(Algorithm::Zstd, cl).mean;
+        assert!(mean(PageClass::Zero) < mean(PageClass::HighlyCompressible));
+        assert!(mean(PageClass::HighlyCompressible) < mean(PageClass::Text));
+        assert!(mean(PageClass::Text) < mean(PageClass::Incompressible));
+    }
+}

@@ -1,0 +1,1009 @@
+//! The tiered memory system simulator.
+//!
+//! Owns the page table (residency of every page), the fault path
+//! (decompress-into-DRAM, §6.5's `Lat_CT + Lat_TD` cost), the migration
+//! engine the TS-Daemon drives, and the performance / TCO accounting of
+//! Eq. 3–10. The workload supplies the access stream and page contents.
+
+use crate::calib::Calibration;
+use crate::histogram::LatencyHistogram;
+use crate::{Fidelity, Placement, SimConfig, SimError, SimResult};
+use std::sync::Arc;
+use ts_mem::{Machine, MediaKind, MediaSpec, PAGE_SIZE};
+use ts_workloads::{Access, Workload};
+use ts_zpool::PoolKind;
+use ts_zswap::{StoredPage, SwapDevice, TierId, ZswapError, ZswapSubsystem};
+
+/// Where a page currently lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Residency {
+    /// In DRAM (tier 0).
+    Dram,
+    /// In byte-addressable tier `i` (index into `SimConfig::byte_tiers`).
+    Byte(u16),
+    /// In compressed tier `i` with the given compressed length; `stored` is
+    /// populated in `Real` fidelity only.
+    Compressed {
+        tier: u16,
+        comp_len: u32,
+        stored: Option<StoredPage>,
+    },
+    /// Written back to the swap device under pool pressure; `slot` is a real
+    /// device slot in `Real` fidelity only.
+    Swapped {
+        comp_len: u32,
+        slot: Option<ts_zswap::SwapSlot>,
+        origin_tier: u16,
+    },
+}
+
+/// Per-compressed-tier simulator-side state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTierStats {
+    /// Pages currently stored.
+    pub pages: u64,
+    /// Compressed payload bytes currently stored.
+    pub comp_bytes: u64,
+    /// Modeled pool backing bytes (includes allocator overhead).
+    pub pool_bytes_modeled: u64,
+    /// Cumulative faults served.
+    pub faults: u64,
+    /// Cumulative stores.
+    pub stores: u64,
+    /// Cumulative incompressible rejections.
+    pub rejections: u64,
+    /// Cumulative pages written back to swap under pool pressure.
+    pub writebacks: u64,
+}
+
+/// Report of one region migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrationReport {
+    /// Pages moved to the destination.
+    pub moved: u64,
+    /// Pages rejected (incompressible) and left in place.
+    pub rejected: u64,
+    /// Modeled migration cost in nanoseconds (daemon tax).
+    pub cost_ns: f64,
+}
+
+/// Performance accounting snapshot (Eq. 3–7).
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Total access events processed.
+    pub accesses: u64,
+    /// Simulated application time (ns) with the current placement history.
+    pub app_time_ns: f64,
+    /// Optimal time if every access had hit DRAM (Eq. 3).
+    pub perf_opt_ns: f64,
+    /// `app_time / perf_opt - 1`: fractional slowdown vs all-DRAM.
+    pub slowdown: f64,
+    /// Mean access latency in ns.
+    pub mean_latency_ns: f64,
+    /// 95th percentile access latency in ns.
+    pub p95_ns: f64,
+    /// 99.9th percentile access latency in ns.
+    pub p999_ns: f64,
+}
+
+/// TCO accounting snapshot (Eq. 8–10).
+#[derive(Debug, Clone)]
+pub struct TcoReport {
+    /// Instantaneous TCO at the time of the call.
+    pub tco_now: f64,
+    /// Time-averaged TCO over the run.
+    pub tco_avg: f64,
+    /// TCO with everything in DRAM (the baseline).
+    pub tco_max: f64,
+    /// Fractional savings of the time-averaged TCO vs all-DRAM.
+    pub savings: f64,
+}
+
+/// The simulated tiered-memory system.
+pub struct TieredSystem {
+    cfg: SimConfig,
+    machine: Arc<Machine>,
+    zswap: Option<ZswapSubsystem>,
+    /// zswap tier ids parallel to `cfg.compressed_tiers` (Real mode).
+    zswap_ids: Vec<TierId>,
+    calib: Calibration,
+    workload: Box<dyn Workload>,
+    pages: Vec<Residency>,
+    dram_spec: MediaSpec,
+    byte_specs: Vec<MediaSpec>,
+    tier_stats: Vec<SimTierStats>,
+    /// Resident page counts: [dram, byte tiers...].
+    resident: Vec<u64>,
+    accesses: u64,
+    app_time_ns: f64,
+    daemon_ns: f64,
+    hist: LatencyHistogram,
+    tco_integral: f64,
+    tco_clock_ns: f64,
+    /// Pages that faulted into DRAM when DRAM was at capacity.
+    pub dram_overflow_faults: u64,
+    page_buf: Vec<u8>,
+    /// Modeled swap device for pool-limit writeback.
+    swap: SwapDevice,
+    /// Pages currently on the swap device (modeled accounting).
+    swap_pages: u64,
+    /// Compressed bytes currently on the swap device.
+    swap_bytes: u64,
+    /// Cumulative swap-in faults.
+    pub swap_faults: u64,
+    /// Per-tier insertion order of compressed pages (writeback LRU).
+    wb_order: Vec<std::collections::VecDeque<u64>>,
+}
+
+impl TieredSystem {
+    /// Build a system from `cfg` and a workload. All pages start in DRAM.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for inconsistent configurations.
+    pub fn new(cfg: SimConfig, workload: Box<dyn Workload>) -> SimResult<Self> {
+        if cfg.dram_bytes < PAGE_SIZE as u64 {
+            return Err(SimError::Config("dram capacity below one page"));
+        }
+        // Build the machine: DRAM node, byte-tier nodes, plus pool-only
+        // nodes for compressed-tier media not otherwise present.
+        let mut builder = Machine::builder().node(MediaKind::Dram, cfg.dram_bytes);
+        let mut media_present = vec![MediaKind::Dram];
+        for &(kind, bytes) in &cfg.byte_tiers {
+            builder = builder.node(kind, bytes);
+            media_present.push(kind);
+        }
+        let pool_only_cap = workload.rss_bytes().max(cfg.dram_bytes) * 2;
+        for t in &cfg.compressed_tiers {
+            if !media_present.contains(&t.media) {
+                builder = builder.node(t.media, pool_only_cap);
+                media_present.push(t.media);
+            }
+        }
+        let machine = Arc::new(builder.build());
+
+        let (zswap, zswap_ids) = match cfg.fidelity {
+            Fidelity::Real => {
+                let mut z = ZswapSubsystem::new(machine.clone());
+                let mut ids = Vec::new();
+                for t in &cfg.compressed_tiers {
+                    ids.push(z.create_tier(t.clone()).map_err(SimError::Zswap)?);
+                }
+                (Some(z), ids)
+            }
+            Fidelity::Modeled => (None, Vec::new()),
+        };
+
+        let total_pages = workload.total_pages() as usize;
+        let dram_spec = MediaKind::Dram.default_spec();
+        let byte_specs = cfg
+            .byte_tiers
+            .iter()
+            .map(|&(k, _)| k.default_spec())
+            .collect();
+        let ntiers = cfg.compressed_tiers.len();
+        let nbyte = cfg.byte_tiers.len();
+        let mut resident = vec![0u64; 1 + nbyte];
+        resident[0] = total_pages as u64;
+        Ok(TieredSystem {
+            calib: Calibration::build(cfg.seed),
+            cfg,
+            machine,
+            zswap,
+            zswap_ids,
+            workload,
+            pages: vec![Residency::Dram; total_pages],
+            dram_spec,
+            byte_specs,
+            tier_stats: vec![SimTierStats::default(); ntiers],
+            resident,
+            accesses: 0,
+            app_time_ns: 0.0,
+            daemon_ns: 0.0,
+            hist: LatencyHistogram::new(),
+            tco_integral: 0.0,
+            tco_clock_ns: 0.0,
+            dram_overflow_faults: 0,
+            page_buf: vec![0u8; PAGE_SIZE],
+            swap: SwapDevice::new(),
+            swap_pages: 0,
+            swap_bytes: 0,
+            swap_faults: 0,
+            wb_order: vec![std::collections::VecDeque::new(); ntiers],
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The workload driving this system.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Pages per region under the configured granularity.
+    pub fn pages_per_region(&self) -> u64 {
+        1u64 << (self.cfg.region_shift - ts_mem::PAGE_SHIFT)
+    }
+
+    /// Region id of a page under the configured granularity (2 MiB default).
+    pub fn region_of_page(&self, vpage: u64) -> u64 {
+        vpage >> (self.cfg.region_shift - ts_mem::PAGE_SHIFT)
+    }
+
+    /// Number of regions.
+    pub fn total_regions(&self) -> u64 {
+        (self.pages.len() as u64).div_ceil(self.pages_per_region())
+    }
+
+    /// Page range of a region.
+    pub fn region_pages(&self, region: u64) -> std::ops::Range<u64> {
+        let per = self.pages_per_region();
+        let start = region * per;
+        start..(start + per).min(self.pages.len() as u64)
+    }
+
+    /// All placements in tier order: DRAM, byte tiers, compressed tiers
+    /// (assumed configured from low to high latency, as the paper orders
+    /// tiers).
+    pub fn placements(&self) -> Vec<Placement> {
+        let mut v = vec![Placement::Dram];
+        for i in 0..self.cfg.byte_tiers.len() {
+            v.push(Placement::ByteTier(i));
+        }
+        for i in 0..self.cfg.compressed_tiers.len() {
+            v.push(Placement::Compressed(i));
+        }
+        v
+    }
+
+    /// Current placement of a page.
+    pub fn page_placement(&self, vpage: u64) -> Placement {
+        match self.pages[vpage as usize] {
+            Residency::Dram => Placement::Dram,
+            Residency::Byte(i) => Placement::ByteTier(i as usize),
+            Residency::Compressed { tier, .. } => Placement::Compressed(tier as usize),
+            // Swapped pages logically belong to their origin tier's cold
+            // set; promoting the region pulls them back through the
+            // swap-fault path.
+            Residency::Swapped { origin_tier, .. } => Placement::Compressed(origin_tier as usize),
+        }
+    }
+
+    /// Dominant placement of a region (most pages win).
+    pub fn region_placement(&self, region: u64) -> Placement {
+        let mut counts = std::collections::HashMap::new();
+        for p in self.region_pages(region) {
+            *counts.entry(self.page_placement(p)).or_insert(0u64) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(p, _)| p)
+            .unwrap_or(Placement::Dram)
+    }
+
+    /// Page counts per placement, in [`TieredSystem::placements`] order,
+    /// with one trailing bucket for pages written back to the swap device
+    /// (always last; zero unless pool limits are configured).
+    pub fn placement_counts(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.resident.clone();
+        for s in &self.tier_stats {
+            v.push(s.pages);
+        }
+        v.push(self.swap_pages);
+        v
+    }
+
+    /// Simulator-side stats for compressed tier `i`.
+    pub fn tier_stats(&self, i: usize) -> SimTierStats {
+        self.tier_stats[i]
+    }
+
+    /// Average access latency of a placement for planning purposes: the
+    /// latency the analytical model uses for `Lat` / `delta` terms (Eq. 6/7).
+    pub fn placement_latency_ns(&self, p: Placement) -> f64 {
+        match p {
+            Placement::Dram => self.dram_spec.avg_latency_ns(),
+            Placement::ByteTier(i) => self.byte_specs[i].avg_latency_ns(),
+            Placement::Compressed(i) => {
+                let t = &self.cfg.compressed_tiers[i];
+                // Fault cost: decompress + place in DRAM (Eq. 5's Lat_CT +
+                // Lat_TD); use the tier's nominal compressed size for the
+                // stream term.
+                let comp = (t.nominal_ratio() * PAGE_SIZE as f64) as u64;
+                t.decompress_latency_ns()
+                    + t.media.default_spec().stream_ns(comp)
+                    + self.dram_spec.avg_latency_ns()
+            }
+        }
+    }
+
+    /// Per-page TCO cost of a placement in normalized $ (Eq. 8/10 terms).
+    /// Compressed placements use the tier's calibrated effective ratio.
+    pub fn placement_cost_per_page(&self, p: Placement) -> f64 {
+        match p {
+            Placement::Dram => self.dram_spec.cost_of_bytes(PAGE_SIZE as u64),
+            Placement::ByteTier(i) => self.byte_specs[i].cost_of_bytes(PAGE_SIZE as u64),
+            Placement::Compressed(i) => {
+                let t = &self.cfg.compressed_tiers[i];
+                let ratio = self.tier_effective_ratio(i);
+                t.media.default_spec().cost_of_bytes(PAGE_SIZE as u64) * ratio
+            }
+        }
+    }
+
+    /// Sampled content-class mix of a region: `(class, fraction)` pairs from
+    /// a 32-page stratified sample. Deterministic per region.
+    pub fn region_class_mix(&self, region: u64) -> Vec<(ts_workloads::PageClass, f64)> {
+        let range = self.region_pages(region);
+        let len = range.end - range.start;
+        if len == 0 {
+            return Vec::new();
+        }
+        let step = (len / 32).max(1) | 1; // Odd stride avoids layout aliasing.
+        let mut counts: std::collections::HashMap<ts_workloads::PageClass, u64> =
+            std::collections::HashMap::new();
+        let mut n = 0u64;
+        let mut p = range.start;
+        while p < range.end {
+            *counts.entry(self.workload.page_class(p)).or_default() += 1;
+            n += 1;
+            p += step;
+        }
+        counts
+            .into_iter()
+            .map(|(c, k)| (c, k as f64 / n as f64))
+            .collect()
+    }
+
+    /// Predicted compression ratio of `region`'s content in compressed tier
+    /// `t`: the calibration-table mean per content class, weighted by the
+    /// region's sampled class mix, clamped by the pool's packing bound.
+    ///
+    /// This is the §9(ii) "choosing tiers based on data compressibility"
+    /// extension: the analytical model can use it for per-region TCO costs
+    /// instead of a tier-wide average.
+    pub fn region_compress_ratio(&self, region: u64, t: usize) -> f64 {
+        let cfg = &self.cfg.compressed_tiers[t];
+        let mix = self.region_class_mix(region);
+        if mix.is_empty() {
+            return cfg.nominal_ratio();
+        }
+        let mut ratio = 0.0;
+        for (class, frac) in mix {
+            let stats = self.calib.stats(cfg.algorithm, class);
+            // Rejected pages stay uncompressed: ratio contribution 1.0.
+            let class_ratio = stats.mean * (1.0 - stats.reject_rate) + 1.0 * stats.reject_rate;
+            ratio += frac * class_ratio;
+        }
+        ratio.max(1.0 - cfg.pool.max_savings()).min(1.0)
+    }
+
+    /// Effective (pool-overhead-inclusive) compression ratio of tier `i`:
+    /// measured when the tier holds pages, nominal otherwise.
+    pub fn tier_effective_ratio(&self, i: usize) -> f64 {
+        let s = &self.tier_stats[i];
+        if s.pages > 0 {
+            self.tier_pool_bytes(i) as f64 / (s.pages * PAGE_SIZE as u64) as f64
+        } else {
+            self.cfg.compressed_tiers[i].nominal_ratio()
+        }
+    }
+
+    /// Backing pool bytes of compressed tier `i`.
+    pub fn tier_pool_bytes(&self, i: usize) -> u64 {
+        match &self.zswap {
+            Some(z) => z.tiers()[i].pool_stats().pool_bytes(),
+            None => self.tier_stats[i].pool_bytes_modeled,
+        }
+    }
+
+    /// Modeled pool share of one object in a pool of `kind`. Same-filled
+    /// markers (comp_len 0) consume no pool space at all.
+    fn pool_share(kind: PoolKind, comp_len: u32) -> u64 {
+        if comp_len == 0 {
+            return 0;
+        }
+        match kind {
+            PoolKind::Zsmalloc => (comp_len as f64 / 0.96) as u64,
+            PoolKind::Zbud => (comp_len as u64).max(PAGE_SIZE as u64 / 2),
+            PoolKind::Z3fold => (comp_len as u64).max(PAGE_SIZE as u64 / 3),
+        }
+    }
+
+    /// Bytes of DRAM currently in use (resident pages + DRAM-backed pools).
+    pub fn dram_used_bytes(&self) -> u64 {
+        let mut used = self.resident[0] * PAGE_SIZE as u64;
+        for (i, t) in self.cfg.compressed_tiers.iter().enumerate() {
+            if t.media == MediaKind::Dram {
+                used += self.tier_pool_bytes(i);
+            }
+        }
+        used
+    }
+
+    /// Occupancy fraction of a placement's capacity.
+    pub fn placement_pressure(&self, p: Placement) -> f64 {
+        match p {
+            Placement::Dram => self.dram_used_bytes() as f64 / self.cfg.dram_bytes as f64,
+            Placement::ByteTier(i) => {
+                let used = self.resident[1 + i] * PAGE_SIZE as u64;
+                used as f64 / self.cfg.byte_tiers[i].1.max(1) as f64
+            }
+            Placement::Compressed(i) => {
+                // Pools grow dynamically; pressure is relative to the
+                // backing node they draw from.
+                let t = &self.cfg.compressed_tiers[i];
+                match t.media {
+                    MediaKind::Dram => self.dram_used_bytes() as f64 / self.cfg.dram_bytes as f64,
+                    _ => {
+                        let node = self
+                            .machine
+                            .node_of_kind(t.media)
+                            .expect("node exists by construction");
+                        // Modeled mode doesn't allocate real frames; use the
+                        // modeled pool bytes against the node capacity.
+                        match &self.zswap {
+                            Some(_) => node.pressure(),
+                            None => self.tier_pool_bytes(i) as f64 / node.capacity_bytes() as f64,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process the next workload access; returns the access and its latency.
+    pub fn step(&mut self) -> (Access, f64) {
+        let access = self.workload.next_access();
+        let lat = self.access(access.addr, access.is_store);
+        (access, lat)
+    }
+
+    /// Apply one access at `addr`; returns the modeled latency in ns
+    /// (memory latency plus the configured per-access compute cost).
+    pub fn access(&mut self, addr: u64, is_store: bool) -> f64 {
+        let vpage = (addr / PAGE_SIZE as u64).min(self.pages.len() as u64 - 1);
+        let mem_lat = match self.pages[vpage as usize] {
+            Residency::Dram => {
+                if is_store {
+                    self.dram_spec.write_latency_ns
+                } else {
+                    self.dram_spec.read_latency_ns
+                }
+            }
+            Residency::Byte(i) => {
+                let s = &self.byte_specs[i as usize];
+                if is_store {
+                    s.write_latency_ns
+                } else {
+                    s.read_latency_ns
+                }
+            }
+            Residency::Compressed {
+                tier,
+                comp_len,
+                stored,
+            } => self.fault_in(vpage, tier as usize, comp_len, stored),
+            Residency::Swapped {
+                comp_len,
+                slot,
+                origin_tier,
+            } => self.swap_fault_in(vpage, comp_len, slot, origin_tier as usize),
+        };
+        let lat = mem_lat + self.cfg.compute_ns_per_access;
+        self.accesses += 1;
+        self.app_time_ns += lat;
+        self.hist.record(lat);
+        self.advance_tco(lat);
+        lat
+    }
+
+    /// Fault path: decompress and place the page in DRAM (or the first byte
+    /// tier with room when DRAM is full — §6.5).
+    fn fault_in(
+        &mut self,
+        vpage: u64,
+        tier: usize,
+        comp_len: u32,
+        stored: Option<StoredPage>,
+    ) -> f64 {
+        // Invalidate in the tier.
+        if let (Some(z), Some(s)) = (self.zswap.as_mut(), stored) {
+            let id = self.zswap_ids[tier];
+            // Real decompression (result discarded: content is regenerable).
+            let _ = z.load(id, s).expect("stored page is live");
+        }
+        let st = &mut self.tier_stats[tier];
+        st.pages -= 1;
+        st.comp_bytes -= comp_len as u64;
+        st.faults += 1;
+        if self.zswap.is_none() {
+            st.pool_bytes_modeled = st.pool_bytes_modeled.saturating_sub(Self::pool_share(
+                self.cfg.compressed_tiers[tier].pool,
+                comp_len,
+            ));
+        }
+        // Decompression + landing-tier access (Eq. 5). Same-filled pages
+        // (comp_len 0) reconstruct with a memset.
+        let tcfg = &self.cfg.compressed_tiers[tier];
+        let mut lat = if comp_len == 0 {
+            ts_zswap::tier::SAME_FILLED_FAULT_NS
+        } else {
+            tcfg.decompress_latency_ns() + tcfg.media.default_spec().stream_ns(comp_len as u64)
+        };
+        // Place in DRAM if it has room, else first byte tier with room.
+        let dram_room = self.dram_used_bytes() + (PAGE_SIZE as u64) <= self.cfg.dram_bytes;
+        if dram_room {
+            self.pages[vpage as usize] = Residency::Dram;
+            self.resident[0] += 1;
+            lat += self.dram_spec.read_latency_ns;
+        } else {
+            let mut placed = false;
+            for (i, &(_, cap)) in self.cfg.byte_tiers.iter().enumerate() {
+                if (self.resident[1 + i] + 1) * PAGE_SIZE as u64 <= cap {
+                    self.pages[vpage as usize] = Residency::Byte(i as u16);
+                    self.resident[1 + i] += 1;
+                    lat += self.byte_specs[i].read_latency_ns;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Overcommit DRAM (tracked; real systems would reclaim).
+                self.pages[vpage as usize] = Residency::Dram;
+                self.resident[0] += 1;
+                self.dram_overflow_faults += 1;
+                lat += self.dram_spec.read_latency_ns;
+            }
+        }
+        lat
+    }
+
+    /// Swap-in path: read the compressed object from the swap device,
+    /// decompress it, and place the page like a compressed-tier fault.
+    fn swap_fault_in(
+        &mut self,
+        vpage: u64,
+        comp_len: u32,
+        slot: Option<ts_zswap::SwapSlot>,
+        origin_tier: usize,
+    ) -> f64 {
+        if let Some(slot) = slot {
+            // Real fidelity: the bytes really come off the device.
+            let bytes = self.swap.read(slot).expect("slot is live");
+            let mut out = Vec::with_capacity(PAGE_SIZE);
+            self.cfg.compressed_tiers[origin_tier]
+                .algorithm
+                .codec()
+                .decompress(&bytes, &mut out)
+                .expect("swap holds valid compressed data");
+        }
+        self.swap_pages -= 1;
+        self.swap_bytes -= comp_len as u64;
+        self.swap_faults += 1;
+        let tcfg = &self.cfg.compressed_tiers[origin_tier];
+        let mut lat = SwapDevice::READ_NS + tcfg.decompress_latency_ns();
+        // Land in DRAM (or the first byte tier with room), like fault_in.
+        let dram_room = self.dram_used_bytes() + (PAGE_SIZE as u64) <= self.cfg.dram_bytes;
+        if dram_room {
+            self.pages[vpage as usize] = Residency::Dram;
+            self.resident[0] += 1;
+            lat += self.dram_spec.read_latency_ns;
+        } else {
+            let mut placed = false;
+            for (i, &(_, cap)) in self.cfg.byte_tiers.iter().enumerate() {
+                if (self.resident[1 + i] + 1) * PAGE_SIZE as u64 <= cap {
+                    self.pages[vpage as usize] = Residency::Byte(i as u16);
+                    self.resident[1 + i] += 1;
+                    lat += self.byte_specs[i].read_latency_ns;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                self.pages[vpage as usize] = Residency::Dram;
+                self.resident[0] += 1;
+                self.dram_overflow_faults += 1;
+                lat += self.dram_spec.read_latency_ns;
+            }
+        }
+        lat
+    }
+
+    /// Enforce tier `t`'s pool limit by writing the oldest compressed pages
+    /// back to the swap device (kernel zswap's `max_pool_percent` behaviour).
+    /// Returns the writeback cost in ns (daemon tax).
+    fn enforce_pool_limit(&mut self, t: usize) -> f64 {
+        let Some(&Some(limit)) = self.cfg.pool_limits.get(t).map(|l| l as &Option<u64>) else {
+            return 0.0;
+        };
+        let mut cost = 0.0;
+        while self.tier_pool_bytes(t) > limit {
+            let Some(victim) = self.wb_order[t].pop_front() else {
+                break;
+            };
+            // Stale entries (already faulted or migrated) are skipped.
+            let Residency::Compressed {
+                tier,
+                comp_len,
+                stored,
+            } = self.pages[victim as usize]
+            else {
+                continue;
+            };
+            if tier as usize != t {
+                continue;
+            }
+            let slot = match (self.zswap.as_mut(), stored) {
+                (Some(z), Some(sp)) => {
+                    let id = self.zswap_ids[t];
+                    let bytes = z
+                        .tier(id)
+                        .expect("tier exists")
+                        .peek_compressed(sp)
+                        .expect("live");
+                    z.invalidate(id, sp).expect("live");
+                    Some(self.swap.write(bytes))
+                }
+                _ => None,
+            };
+            let st = &mut self.tier_stats[t];
+            st.pages -= 1;
+            st.comp_bytes -= comp_len as u64;
+            st.writebacks += 1;
+            if self.zswap.is_none() {
+                st.pool_bytes_modeled = st.pool_bytes_modeled.saturating_sub(Self::pool_share(
+                    self.cfg.compressed_tiers[t].pool,
+                    comp_len,
+                ));
+            }
+            self.swap_pages += 1;
+            self.swap_bytes += comp_len as u64;
+            self.pages[victim as usize] = Residency::Swapped {
+                comp_len,
+                slot,
+                origin_tier: t as u16,
+            };
+            cost += self.cfg.compressed_tiers[t]
+                .media
+                .default_spec()
+                .stream_ns(comp_len as u64)
+                + SwapDevice::WRITE_NS;
+        }
+        cost
+    }
+
+    /// Pages currently written back to the swap device.
+    pub fn swapped_pages(&self) -> u64 {
+        self.swap_pages
+    }
+
+    /// Migrate one page to `dest`; returns the migration cost in ns, charged
+    /// to the daemon (not application time).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Rejected`] when a compressed destination rejects the page
+    /// as incompressible (the page stays where it was).
+    pub fn migrate_page(&mut self, vpage: u64, dest: Placement) -> SimResult<f64> {
+        let src = self.page_placement(vpage);
+        if src == dest {
+            return Ok(0.0);
+        }
+        let cost = match dest {
+            Placement::Dram | Placement::ByteTier(_) => {
+                let out_cost = self.remove_from_current(vpage);
+                let in_cost = self.place_byte(vpage, dest);
+                out_cost + in_cost
+            }
+            Placement::Compressed(t) => {
+                // Compressed-to-compressed can use the zswap fast path.
+                if let (
+                    Residency::Compressed {
+                        tier: from,
+                        stored: Some(s),
+                        comp_len,
+                    },
+                    Some(_),
+                ) = (self.pages[vpage as usize], self.zswap.as_ref())
+                {
+                    let z = self.zswap.as_mut().expect("checked above");
+                    let from_id = self.zswap_ids[from as usize];
+                    let to_id = self.zswap_ids[t];
+                    match z.migrate_with_cost(from_id, to_id, s) {
+                        Ok(out) => {
+                            let fs = &mut self.tier_stats[from as usize];
+                            fs.pages -= 1;
+                            fs.comp_bytes -= comp_len as u64;
+                            let ts = &mut self.tier_stats[t];
+                            ts.pages += 1;
+                            ts.comp_bytes += out.stored.compressed_len as u64;
+                            ts.stores += 1;
+                            self.pages[vpage as usize] = Residency::Compressed {
+                                tier: t as u16,
+                                comp_len: out.stored.compressed_len as u32,
+                                stored: Some(out.stored),
+                            };
+                            // The page is now a writeback candidate in its
+                            // new tier, whose pool limit must still hold.
+                            self.wb_order[t].push_back(vpage);
+                            out.cost_ns + self.enforce_pool_limit(t)
+                        }
+                        Err(ZswapError::Incompressible) => {
+                            self.tier_stats[t].rejections += 1;
+                            return Err(SimError::Rejected);
+                        }
+                        Err(e) => return Err(SimError::Zswap(e)),
+                    }
+                } else {
+                    let out_cost = match self.compress_into(vpage, t) {
+                        Ok(c) => c,
+                        Err(e) => return Err(e),
+                    };
+                    out_cost
+                }
+            }
+        };
+        self.daemon_ns += cost;
+        self.advance_tco(cost);
+        Ok(cost)
+    }
+
+    /// Remove a page from its current residency, returning the read-out cost.
+    fn remove_from_current(&mut self, vpage: u64) -> f64 {
+        match self.pages[vpage as usize] {
+            Residency::Dram => {
+                self.resident[0] -= 1;
+                self.dram_spec.stream_ns(PAGE_SIZE as u64)
+            }
+            Residency::Byte(i) => {
+                self.resident[1 + i as usize] -= 1;
+                self.byte_specs[i as usize].stream_ns(PAGE_SIZE as u64)
+            }
+            Residency::Swapped {
+                comp_len,
+                slot,
+                origin_tier,
+            } => {
+                if let Some(slot) = slot {
+                    let _ = self.swap.read(slot).expect("slot is live");
+                }
+                self.swap_pages -= 1;
+                self.swap_bytes -= comp_len as u64;
+                let t = &self.cfg.compressed_tiers[origin_tier as usize];
+                SwapDevice::READ_NS + t.decompress_latency_ns()
+            }
+            Residency::Compressed {
+                tier,
+                comp_len,
+                stored,
+            } => {
+                if let (Some(z), Some(s)) = (self.zswap.as_mut(), stored) {
+                    let id = self.zswap_ids[tier as usize];
+                    let _ = z.load(id, s).expect("stored page is live");
+                }
+                let st = &mut self.tier_stats[tier as usize];
+                st.pages -= 1;
+                st.comp_bytes -= comp_len as u64;
+                if self.zswap.is_none() {
+                    st.pool_bytes_modeled = st.pool_bytes_modeled.saturating_sub(Self::pool_share(
+                        self.cfg.compressed_tiers[tier as usize].pool,
+                        comp_len,
+                    ));
+                }
+                let t = &self.cfg.compressed_tiers[tier as usize];
+                if comp_len == 0 {
+                    ts_zswap::tier::SAME_FILLED_FAULT_NS
+                } else {
+                    t.decompress_latency_ns() + t.media.default_spec().stream_ns(comp_len as u64)
+                }
+            }
+        }
+    }
+
+    /// Place a (already removed) page into DRAM or a byte tier.
+    fn place_byte(&mut self, vpage: u64, dest: Placement) -> f64 {
+        match dest {
+            Placement::Dram => {
+                self.pages[vpage as usize] = Residency::Dram;
+                self.resident[0] += 1;
+                self.dram_spec.stream_ns(PAGE_SIZE as u64)
+            }
+            Placement::ByteTier(i) => {
+                self.pages[vpage as usize] = Residency::Byte(i as u16);
+                self.resident[1 + i] += 1;
+                self.byte_specs[i].stream_ns(PAGE_SIZE as u64)
+            }
+            Placement::Compressed(_) => unreachable!("byte placement only"),
+        }
+    }
+
+    /// Compress page `vpage` into tier `t` from a byte-addressable source.
+    fn compress_into(&mut self, vpage: u64, t: usize) -> SimResult<f64> {
+        let tcfg = self.cfg.compressed_tiers[t].clone();
+        let (comp_len, stored) = match &mut self.zswap {
+            Some(z) => {
+                self.workload.fill_page(vpage, &mut self.page_buf);
+                let id = self.zswap_ids[t];
+                match z.store(id, &self.page_buf) {
+                    Ok(s) => (s.compressed_len as u32, Some(s)),
+                    Err(ZswapError::Incompressible) => {
+                        self.tier_stats[t].rejections += 1;
+                        return Err(SimError::Rejected);
+                    }
+                    Err(e) => return Err(SimError::Zswap(e)),
+                }
+            }
+            None => {
+                let class = self.workload.page_class(vpage);
+                if class == ts_workloads::PageClass::Zero {
+                    // Same-filled page: a marker, no pool bytes (kernel
+                    // zswap's same-filled optimization).
+                    (0, None)
+                } else {
+                    let tag = vpage ^ self.cfg.seed.rotate_left(13);
+                    match self.calib.modeled_len(tcfg.algorithm, class, tag) {
+                        Some(n) => (n as u32, None),
+                        None => {
+                            self.tier_stats[t].rejections += 1;
+                            return Err(SimError::Rejected);
+                        }
+                    }
+                }
+            }
+        };
+        // Only detach from the source once the compression side committed.
+        let out_cost = self.remove_from_current(vpage);
+        let st = &mut self.tier_stats[t];
+        st.pages += 1;
+        st.comp_bytes += comp_len as u64;
+        st.stores += 1;
+        if self.zswap.is_none() {
+            st.pool_bytes_modeled += Self::pool_share(tcfg.pool, comp_len);
+        }
+        self.pages[vpage as usize] = Residency::Compressed {
+            tier: t as u16,
+            comp_len,
+            stored,
+        };
+        self.wb_order[t].push_back(vpage);
+        let wb_cost = self.enforce_pool_limit(t);
+        let in_cost =
+            tcfg.compress_latency_ns() + tcfg.media.default_spec().stream_ns(comp_len as u64);
+        Ok(out_cost + in_cost + wb_cost)
+    }
+
+    /// Migrate every page of `region` to `dest`; rejected pages stay put.
+    pub fn migrate_region(&mut self, region: u64, dest: Placement) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        for p in self.region_pages(region) {
+            match self.migrate_page(p, dest) {
+                Ok(c) => {
+                    if c > 0.0 {
+                        report.moved += 1;
+                    }
+                    report.cost_ns += c;
+                }
+                Err(SimError::Rejected) => report.rejected += 1,
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+    }
+
+    /// Charge extra daemon time (profiling, solver) to the tax account.
+    pub fn charge_daemon_ns(&mut self, ns: f64) {
+        self.daemon_ns += ns;
+        self.advance_tco(ns);
+    }
+
+    /// Cumulative daemon (TierScape tax) time in ns.
+    pub fn daemon_ns(&self) -> f64 {
+        self.daemon_ns
+    }
+
+    fn advance_tco(&mut self, dt_ns: f64) {
+        self.tco_integral += self.current_tco() * dt_ns;
+        self.tco_clock_ns += dt_ns;
+    }
+
+    /// Instantaneous memory TCO (Eq. 10).
+    pub fn current_tco(&self) -> f64 {
+        let mut tco = self
+            .dram_spec
+            .cost_of_bytes(self.resident[0] * PAGE_SIZE as u64);
+        for (i, spec) in self.byte_specs.iter().enumerate() {
+            tco += spec.cost_of_bytes(self.resident[1 + i] * PAGE_SIZE as u64);
+        }
+        for (i, t) in self.cfg.compressed_tiers.iter().enumerate() {
+            tco += t
+                .media
+                .default_spec()
+                .cost_of_bytes(self.tier_pool_bytes(i));
+        }
+        tco += SwapDevice::COST_PER_GB * self.swap_bytes as f64 / (1u64 << 30) as f64;
+        tco
+    }
+
+    /// TCO with every page in DRAM (Eq. 1's `TCO_max`).
+    pub fn tco_max(&self) -> f64 {
+        self.dram_spec
+            .cost_of_bytes(self.total_pages() * PAGE_SIZE as u64)
+    }
+
+    /// Estimated minimum TCO: every page in its cheapest placement
+    /// (Eq. 1's `TCO_min`).
+    pub fn tco_min(&self) -> f64 {
+        let per_page = self
+            .placements()
+            .iter()
+            .map(|&p| self.placement_cost_per_page(p))
+            .fold(f64::INFINITY, f64::min);
+        per_page * self.total_pages() as f64
+    }
+
+    /// Performance report (Eq. 3–7 accounting plus tail latencies).
+    pub fn perf_report(&self) -> PerfReport {
+        let perf_opt = self.accesses as f64
+            * (self.dram_spec.read_latency_ns + self.cfg.compute_ns_per_access);
+        PerfReport {
+            accesses: self.accesses,
+            app_time_ns: self.app_time_ns,
+            perf_opt_ns: perf_opt,
+            slowdown: if perf_opt > 0.0 {
+                self.app_time_ns / perf_opt - 1.0
+            } else {
+                0.0
+            },
+            mean_latency_ns: self.hist.mean(),
+            p95_ns: self.hist.percentile(95.0),
+            p999_ns: self.hist.percentile(99.9),
+        }
+    }
+
+    /// TCO report over the run so far.
+    pub fn tco_report(&self) -> TcoReport {
+        let tco_now = self.current_tco();
+        let tco_avg = if self.tco_clock_ns > 0.0 {
+            self.tco_integral / self.tco_clock_ns
+        } else {
+            tco_now
+        };
+        let tco_max = self.tco_max();
+        TcoReport {
+            tco_now,
+            tco_avg,
+            tco_max,
+            savings: 1.0 - tco_avg / tco_max,
+        }
+    }
+
+    /// Region hotness helper: total pages currently compressed anywhere.
+    pub fn compressed_pages(&self) -> u64 {
+        self.tier_stats.iter().map(|s| s.pages).sum()
+    }
+
+    /// Mutable access to the workload (e.g. to drive phases in tests).
+    pub fn workload_mut(&mut self) -> &mut dyn Workload {
+        self.workload.as_mut()
+    }
+}
+
+impl std::fmt::Debug for TieredSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredSystem")
+            .field("pages", &self.pages.len())
+            .field("resident", &self.resident)
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}

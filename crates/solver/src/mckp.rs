@@ -1,0 +1,608 @@
+//! Multiple-choice knapsack (MCKP) solvers.
+//!
+//! The analytical model's ILP (Eq. 2) assigns every region exactly one tier,
+//! minimizing total predicted performance overhead subject to a TCO budget:
+//!
+//! ```text
+//! minimize   sum_g perf_cost[g][choice_g]
+//! subject to sum_g tco_cost[g][choice_g] <= budget
+//! ```
+//!
+//! This is precisely the (min-cost form of the) multiple-choice knapsack
+//! problem. Two solvers are provided:
+//!
+//! * [`MckpProblem::solve_greedy`] — dominance filtering + lower convex hull
+//!   per group, then a greedy walk over hull steps in decreasing efficiency
+//!   (the classic LP-relaxation-derived heuristic; the LP optimum differs
+//!   from it by at most one fractional step). Near-optimal, `O(n log n)`,
+//!   used in the TS-Daemon path.
+//! * [`MckpProblem::solve_exact_dp`] — exact dynamic programming over a
+//!   quantized budget axis; exponentially safer reference for tests, also
+//!   practical for the paper-scale problems (hundreds of regions x 6 tiers).
+//!
+//! `solve()` picks the DP when the instance is small and falls back to
+//! greedy + local refinement otherwise.
+
+use crate::SolverError;
+
+/// One candidate placement of a group (a tier choice for a region).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MckpItem {
+    /// Predicted performance overhead if this item is chosen.
+    pub perf_cost: f64,
+    /// Memory TCO incurred if this item is chosen.
+    pub tco_cost: f64,
+}
+
+impl MckpItem {
+    /// Create an item.
+    pub fn new(perf_cost: f64, tco_cost: f64) -> Self {
+        MckpItem {
+            perf_cost,
+            tco_cost,
+        }
+    }
+}
+
+/// A multiple-choice knapsack problem.
+#[derive(Debug, Clone, Default)]
+pub struct MckpProblem {
+    /// One group per region; each group's items are the tier choices.
+    pub groups: Vec<Vec<MckpItem>>,
+    /// TCO budget (right-hand side of Eq. 2's constraint).
+    pub budget: f64,
+}
+
+/// A solution to an [`MckpProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MckpSolution {
+    /// Chosen item index per group.
+    pub choice: Vec<usize>,
+    /// Total performance cost of the choice.
+    pub perf_cost: f64,
+    /// Total TCO of the choice (<= budget).
+    pub tco_cost: f64,
+    /// Whether the solution is provably optimal.
+    pub exact: bool,
+}
+
+impl MckpProblem {
+    fn validate(&self) -> Result<(), SolverError> {
+        if self.groups.is_empty() {
+            return Err(SolverError::Malformed("no groups"));
+        }
+        for g in &self.groups {
+            if g.is_empty() {
+                return Err(SolverError::Malformed("empty group"));
+            }
+            for item in g {
+                if !item.perf_cost.is_finite()
+                    || !item.tco_cost.is_finite()
+                    || item.perf_cost < 0.0
+                    || item.tco_cost < 0.0
+                {
+                    return Err(SolverError::Malformed("negative or non-finite item"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn score(&self, choice: &[usize]) -> (f64, f64) {
+        let mut perf = 0.0;
+        let mut tco = 0.0;
+        for (g, &c) in self.groups.iter().zip(choice) {
+            perf += g[c].perf_cost;
+            tco += g[c].tco_cost;
+        }
+        (perf, tco)
+    }
+
+    /// Solve with an automatically chosen strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Infeasible`] if even the cheapest-TCO choice per group
+    /// exceeds the budget; [`SolverError::Malformed`] for empty groups.
+    pub fn solve(&self) -> Result<MckpSolution, SolverError> {
+        self.validate()?;
+        let items: usize = self.groups.iter().map(|g| g.len()).sum();
+        if items <= 4096 {
+            // Small instance: exact DP at fine resolution.
+            self.solve_exact_dp(4096)
+        } else {
+            self.solve_greedy()
+        }
+    }
+
+    /// Greedy hull-walk solver with a local refinement pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`MckpProblem::solve`].
+    pub fn solve_greedy(&self) -> Result<MckpSolution, SolverError> {
+        self.validate()?;
+        // Per group: indices sorted by tco asc, dominance-filtered, convex hull.
+        let hulls: Vec<Vec<usize>> = self.groups.iter().map(|g| lower_hull(g)).collect();
+
+        // Start at each group's min-TCO hull point.
+        let mut level: Vec<usize> = vec![0; self.groups.len()];
+        let mut tco: f64 = hulls
+            .iter()
+            .zip(&self.groups)
+            .map(|(h, g)| g[h[0]].tco_cost)
+            .sum();
+        if tco > self.budget + 1e-9 {
+            return Err(SolverError::Infeasible);
+        }
+
+        // All upgrade steps, globally sorted by efficiency descending.
+        #[derive(Debug)]
+        struct Step {
+            group: usize,
+            to_level: usize,
+            d_tco: f64,
+            #[allow(dead_code)]
+            d_perf: f64,
+            eff: f64,
+        }
+        let mut steps = Vec::new();
+        for (gi, hull) in hulls.iter().enumerate() {
+            for l in 1..hull.len() {
+                let a = self.groups[gi][hull[l - 1]];
+                let b = self.groups[gi][hull[l]];
+                let d_tco = b.tco_cost - a.tco_cost;
+                let d_perf = a.perf_cost - b.perf_cost;
+                debug_assert!(d_tco > 0.0 && d_perf > 0.0);
+                steps.push(Step {
+                    group: gi,
+                    to_level: l,
+                    d_tco,
+                    d_perf,
+                    eff: d_perf / d_tco,
+                });
+            }
+        }
+        steps.sort_by(|a, b| b.eff.partial_cmp(&a.eff).expect("finite efficiencies"));
+
+        let mut skipped_any = false;
+        for s in &steps {
+            // In-group order: only apply if it is the next level for its
+            // group (within-group efficiencies decrease, so the global order
+            // respects this except under exact ties).
+            if level[s.group] + 1 != s.to_level {
+                continue;
+            }
+            if tco + s.d_tco <= self.budget + 1e-9 {
+                tco += s.d_tco;
+                level[s.group] = s.to_level;
+            } else {
+                skipped_any = true;
+            }
+        }
+        // Refinement: steps skipped earlier may fit after later smaller ones
+        // were rejected too; do passes until fixpoint.
+        loop {
+            let mut progressed = false;
+            for s in &steps {
+                if level[s.group] + 1 == s.to_level && tco + s.d_tco <= self.budget + 1e-9 {
+                    tco += s.d_tco;
+                    level[s.group] = s.to_level;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let choice: Vec<usize> = hulls.iter().zip(&level).map(|(h, &l)| h[l]).collect();
+        let (perf, tco) = self.score(&choice);
+        Ok(MckpSolution {
+            choice,
+            perf_cost: perf,
+            tco_cost: tco,
+            exact: !skipped_any,
+        })
+    }
+
+    /// Exact DP over a quantized budget axis with `resolution` buckets.
+    ///
+    /// The TCO axis is scaled so the budget maps to `resolution`; each item's
+    /// cost is rounded *up*, so the solution never violates the true budget.
+    /// With `resolution` large relative to the number of groups the result
+    /// is optimal for all practical purposes, and exactly optimal whenever
+    /// all costs are integral multiples of the bucket size.
+    ///
+    /// # Errors
+    ///
+    /// See [`MckpProblem::solve`].
+    pub fn solve_exact_dp(&self, resolution: usize) -> Result<MckpSolution, SolverError> {
+        self.validate()?;
+        let res = resolution.max(8);
+        let max_tco: f64 = self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|i| i.tco_cost).fold(0.0f64, f64::max))
+            .sum();
+        // When every cost (and the budget) is integral and fits the bucket
+        // count, a unit scale makes the DP exactly optimal. Otherwise costs
+        // are rounded *up* so the result never violates the true budget
+        // (optimal for the quantized instance).
+        let integral = self.budget <= res as f64
+            && self.budget.fract().abs() < 1e-9
+            && self
+                .groups
+                .iter()
+                .flatten()
+                .all(|i| i.tco_cost.fract().abs() < 1e-9 && i.tco_cost <= res as f64);
+        let scale = if integral {
+            1.0
+        } else {
+            let scale_base = self.budget.max(1e-12).min(max_tco.max(1e-12));
+            res as f64 / scale_base
+        };
+        let budget_units = (self.budget * scale + 1e-9).floor() as usize;
+        let quant = |tco: f64| -> usize { (tco * scale - 1e-9).ceil().max(0.0) as usize };
+
+        const INF: f64 = f64::INFINITY;
+        // dp[b] = min perf with TCO-units exactly <= b.
+        let mut dp = vec![INF; budget_units + 1];
+        let mut parent: Vec<Vec<u32>> = Vec::with_capacity(self.groups.len());
+        dp[0] = 0.0;
+        let mut reachable_max = 0usize;
+        for g in &self.groups {
+            let mut ndp = vec![INF; budget_units + 1];
+            let mut par = vec![u32::MAX; budget_units + 1];
+            let new_max = budget_units
+                .min(reachable_max + g.iter().map(|i| quant(i.tco_cost)).max().unwrap_or(0));
+            for b in 0..=reachable_max {
+                if dp[b] == INF {
+                    continue;
+                }
+                for (ii, item) in g.iter().enumerate() {
+                    let nb = b + quant(item.tco_cost);
+                    if nb <= budget_units {
+                        let np = dp[b] + item.perf_cost;
+                        if np < ndp[nb] {
+                            ndp[nb] = np;
+                            par[nb] = ii as u32;
+                        }
+                    }
+                }
+            }
+            reachable_max = new_max;
+            dp = ndp;
+            parent.push(par);
+        }
+        // Best bucket; prefix-min so every group contributed.
+        let mut best_b = usize::MAX;
+        let mut best = INF;
+        for (b, &p) in dp.iter().enumerate() {
+            if p < best {
+                best = p;
+                best_b = b;
+            }
+        }
+        if best_b == usize::MAX {
+            return Err(SolverError::Infeasible);
+        }
+        // Walk parents backwards. Parent tables store only the last layer's
+        // choice per bucket, so we rebuild by re-running the DP per layer —
+        // instead, store per-layer parents (done above) and track buckets.
+        let mut choice = vec![0usize; self.groups.len()];
+        let mut b = best_b;
+        for (gi, g) in self.groups.iter().enumerate().rev() {
+            let ii = parent[gi][b];
+            debug_assert!(ii != u32::MAX);
+            choice[gi] = ii as usize;
+            b -= quant(g[ii as usize].tco_cost);
+        }
+        let (perf, tco) = self.score(&choice);
+        debug_assert!(tco <= self.budget + 1e-9);
+        Ok(MckpSolution {
+            choice,
+            perf_cost: perf,
+            tco_cost: tco,
+            exact: true,
+        })
+    }
+}
+
+/// Dominance-filtered lower convex hull of a group, as item indices ordered
+/// by increasing TCO cost.
+fn lower_hull(items: &[MckpItem]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&a, &b| {
+        items[a]
+            .tco_cost
+            .partial_cmp(&items[b].tco_cost)
+            .expect("finite")
+            .then(
+                items[a]
+                    .perf_cost
+                    .partial_cmp(&items[b].perf_cost)
+                    .expect("finite"),
+            )
+    });
+    // Dominance: as tco increases, keep only strictly decreasing perf.
+    let mut filtered: Vec<usize> = Vec::new();
+    for &i in &idx {
+        if let Some(&last) = filtered.last() {
+            if items[i].perf_cost >= items[last].perf_cost - 1e-15 {
+                continue;
+            }
+            if (items[i].tco_cost - items[last].tco_cost).abs() < 1e-15 {
+                // Same cost, better perf: replace.
+                filtered.pop();
+            }
+        }
+        filtered.push(i);
+    }
+    // Lower convex hull (slopes d_perf/d_tco must be decreasing in magnitude:
+    // each extra TCO dollar buys less perf than the previous one).
+    let mut hull: Vec<usize> = Vec::new();
+    for &i in &filtered {
+        while hull.len() >= 2 {
+            let a = items[hull[hull.len() - 2]];
+            let b = items[hull[hull.len() - 1]];
+            let c = items[i];
+            let s_ab = (a.perf_cost - b.perf_cost) / (b.tco_cost - a.tco_cost);
+            let s_bc = (b.perf_cost - c.perf_cost) / (c.tco_cost - b.tco_cost);
+            if s_bc >= s_ab - 1e-15 {
+                // b is not on the hull: the later step is at least as
+                // efficient, so b would never be the stopping point.
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(p: f64, t: f64) -> MckpItem {
+        MckpItem::new(p, t)
+    }
+
+    #[test]
+    fn trivial_single_group() {
+        let p = MckpProblem {
+            groups: vec![vec![item(10.0, 1.0), item(2.0, 5.0), item(0.0, 9.0)]],
+            budget: 6.0,
+        };
+        let s = p.solve().unwrap();
+        assert_eq!(s.choice, vec![1]);
+        assert!((s.perf_cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_budget() {
+        let p = MckpProblem {
+            groups: vec![vec![item(1.0, 5.0)]],
+            budget: 4.0,
+        };
+        assert_eq!(p.solve().unwrap_err(), SolverError::Infeasible);
+        assert_eq!(p.solve_greedy().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let p = MckpProblem {
+            groups: vec![vec![]],
+            budget: 1.0,
+        };
+        assert!(matches!(p.solve(), Err(SolverError::Malformed(_))));
+        let p2 = MckpProblem {
+            groups: vec![vec![item(f64::NAN, 1.0)]],
+            budget: 1.0,
+        };
+        assert!(matches!(p2.solve(), Err(SolverError::Malformed(_))));
+    }
+
+    #[test]
+    fn hull_drops_dominated_items() {
+        // Item 1 dominated (worse perf AND worse tco than item 2).
+        let items = vec![item(10.0, 1.0), item(9.0, 5.0), item(2.0, 3.0)];
+        let hull = lower_hull(&items);
+        assert!(!hull.contains(&1));
+        assert_eq!(hull, vec![0, 2]);
+    }
+
+    #[test]
+    fn hull_drops_non_convex_points() {
+        // Middle point above the segment between the endpoints.
+        let items = vec![item(10.0, 0.0), item(9.5, 5.0), item(0.0, 10.0)];
+        let hull = lower_hull(&items);
+        assert_eq!(hull, vec![0, 2]);
+    }
+
+    #[test]
+    fn dp_matches_bruteforce_on_random_instances() {
+        let mut x = 42u64;
+        let mut rnd = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for trial in 0..30 {
+            let ngroups = 2 + rnd() % 4;
+            let groups: Vec<Vec<MckpItem>> = (0..ngroups)
+                .map(|_| {
+                    (0..(2 + rnd() % 3))
+                        .map(|_| item((rnd() % 50) as f64, (rnd() % 20) as f64))
+                        .collect()
+                })
+                .collect();
+            let min_budget: f64 = groups
+                .iter()
+                .map(|g| g.iter().map(|i| i.tco_cost).fold(f64::INFINITY, f64::min))
+                .sum();
+            let budget = min_budget + (rnd() % 30) as f64;
+            let p = MckpProblem {
+                groups: groups.clone(),
+                budget,
+            };
+            let dp = p.solve_exact_dp(8192).unwrap();
+
+            // Brute force.
+            let mut best = f64::INFINITY;
+            let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+            let mut counter = vec![0usize; ngroups];
+            loop {
+                let (perf, tco) = p.score(&counter);
+                if tco <= budget + 1e-9 && perf < best {
+                    best = perf;
+                }
+                // Increment counter.
+                let mut k = 0;
+                loop {
+                    if k == ngroups {
+                        break;
+                    }
+                    counter[k] += 1;
+                    if counter[k] < sizes[k] {
+                        break;
+                    }
+                    counter[k] = 0;
+                    k += 1;
+                }
+                if k == ngroups {
+                    break;
+                }
+            }
+            assert!(
+                (dp.perf_cost - best).abs() < 1e-6,
+                "trial {trial}: dp {} vs brute {best}",
+                dp.perf_cost
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_close_to_exact() {
+        let mut x = 7u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as usize
+        };
+        for _ in 0..20 {
+            let groups: Vec<Vec<MckpItem>> = (0..12)
+                .map(|_| {
+                    (0..5)
+                        .map(|k| {
+                            // Structured like tiers: more TCO -> less perf.
+                            let tco = (k * 10 + rnd() % 5) as f64;
+                            let perf = ((5 - k) * 20 + rnd() % 10) as f64;
+                            item(perf, tco)
+                        })
+                        .collect()
+                })
+                .collect();
+            let budget = 250.0;
+            let p = MckpProblem { groups, budget };
+            let g = p.solve_greedy().unwrap();
+            let e = p.solve_exact_dp(16384).unwrap();
+            assert!(g.tco_cost <= budget + 1e-9);
+            // Greedy within one hull step of optimal: allow 15% slack.
+            assert!(
+                g.perf_cost <= e.perf_cost * 1.15 + 25.0,
+                "greedy {} vs exact {}",
+                g.perf_cost,
+                e.perf_cost
+            );
+        }
+    }
+
+    #[test]
+    fn budget_zero_forces_min_tco() {
+        let p = MckpProblem {
+            groups: vec![
+                vec![item(10.0, 0.0), item(0.0, 5.0)],
+                vec![item(7.0, 0.0), item(1.0, 3.0)],
+            ],
+            budget: 0.0,
+        };
+        let s = p.solve().unwrap();
+        assert_eq!(s.choice, vec![0, 0]);
+        assert!((s.perf_cost - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_budget_gives_min_perf() {
+        let p = MckpProblem {
+            groups: vec![
+                vec![item(10.0, 1.0), item(0.5, 5.0)],
+                vec![item(7.0, 1.0), item(0.25, 3.0)],
+            ],
+            budget: 1000.0,
+        };
+        for s in [p.solve().unwrap(), p.solve_greedy().unwrap()] {
+            assert_eq!(s.choice, vec![1, 1]);
+        }
+    }
+
+    #[test]
+    fn matches_general_ilp_solver() {
+        // Cross-validate against branch & bound on a small instance.
+        use crate::branch_bound::solve_ilp;
+        use crate::simplex::{LinearProgram, Relation};
+        let groups = vec![
+            vec![item(9.0, 1.0), item(4.0, 3.0), item(1.0, 6.0)],
+            vec![item(8.0, 2.0), item(3.0, 4.0)],
+            vec![item(6.0, 1.0), item(2.0, 5.0)],
+        ];
+        let budget = 9.0;
+        let p = MckpProblem {
+            groups: groups.clone(),
+            budget,
+        };
+        let dp = p.solve_exact_dp(8192).unwrap();
+
+        // ILP: binary var per (group, item); maximize -perf.
+        let nvars: usize = groups.iter().map(|g| g.len()).sum();
+        let mut obj = Vec::with_capacity(nvars);
+        for g in &groups {
+            for it in g {
+                obj.push(-it.perf_cost);
+            }
+        }
+        let mut lp = LinearProgram::maximize(obj);
+        let mut base = 0;
+        for g in &groups {
+            let mut row = vec![0.0; nvars];
+            for k in 0..g.len() {
+                row[base + k] = 1.0;
+            }
+            lp = lp.constrain(row, Relation::Eq, 1.0);
+            base += g.len();
+        }
+        let mut wrow = vec![0.0; nvars];
+        let mut base = 0;
+        for g in &groups {
+            for (k, it) in g.iter().enumerate() {
+                wrow[base + k] = it.tco_cost;
+            }
+            base += g.len();
+        }
+        lp = lp.constrain(wrow, Relation::Le, budget);
+        for v in 0..nvars {
+            let mut row = vec![0.0; nvars];
+            row[v] = 1.0;
+            lp = lp.constrain(row, Relation::Le, 1.0);
+        }
+        let ilp = solve_ilp(&lp, &(0..nvars).collect::<Vec<_>>()).unwrap();
+        assert!(
+            (dp.perf_cost - (-ilp.objective)).abs() < 1e-6,
+            "dp {} vs ilp {}",
+            dp.perf_cost,
+            -ilp.objective
+        );
+    }
+}

@@ -1,0 +1,513 @@
+#![warn(missing_docs)]
+
+//! # ts-telemetry — sampled access profiling (PEBS substitute)
+//!
+//! The paper's TS-Daemon profiles application memory accesses with Intel
+//! PEBS, sampling `MEM_INST_RETIRED.ALL_LOADS/ALL_STORES` at a period of 5000
+//! and aggregating sample virtual addresses into 2 MiB regions (following
+//! HeMem). This crate reproduces that information flow over a simulated
+//! access stream:
+//!
+//! * [`Sampler`] — deterministic 1-in-N event sampling (PEBS period).
+//! * [`Profiler`] — per-window region histograms of sampled addresses.
+//! * [`HotnessTracker`] — exponentially cooled per-region hotness across
+//!   windows ("hot pages do not become cold instantaneously; rather, they
+//!   are gradually aged", §3.1).
+//! * [`HotnessSnapshot`] — a window's cooled hotness with percentile
+//!   thresholds (the evaluation uses 25th/50th/75th-percentile thresholds).
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_telemetry::{Profiler, TelemetryConfig};
+//!
+//! let mut profiler = Profiler::new(TelemetryConfig::default());
+//! for i in 0..100_000u64 {
+//!     profiler.record(i % 64 * 4096, false); // 64 hot pages in region 0
+//! }
+//! let snap = profiler.end_window();
+//! assert!(snap.hotness(0) > 0.0);
+//! ```
+
+pub mod damon;
+pub mod scanner;
+
+pub use damon::DamonRegions;
+pub use scanner::AccessBitScanner;
+
+use std::collections::HashMap;
+
+/// A telemetry source: consumes access events, yields cooled hotness per
+/// profile window, and accounts its own modeled CPU cost (daemon tax).
+///
+/// Two implementations exist: [`Profiler`] (PEBS-style sampling — cost per
+/// sample, rich counts) and [`scanner::AccessBitScanner`] (page-table
+/// ACCESSED-bit scanning — free at runtime, one full scan per window,
+/// binary per-window signal).
+pub trait TelemetrySource: Send {
+    /// Observe one memory access event.
+    fn record(&mut self, addr: u64, is_store: bool);
+
+    /// Close the profile window and return the cooled hotness snapshot.
+    fn end_window(&mut self) -> HotnessSnapshot;
+
+    /// Cumulative modeled telemetry cost in ns.
+    fn cost_ns(&self) -> f64;
+
+    /// Short name ("pebs", "accessed-bit").
+    fn kind_name(&self) -> &'static str;
+}
+
+/// Default PEBS-style sampling period (paper §7.2: "sampling rate of 5K").
+pub const DEFAULT_SAMPLE_PERIOD: u64 = 5000;
+
+/// Default region shift: 2 MiB regions (paper §7.2).
+pub const DEFAULT_REGION_SHIFT: u32 = 21;
+
+/// Configuration of the telemetry pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Sample 1 out of every `sample_period` access events.
+    pub sample_period: u64,
+    /// Regions are `1 << region_shift` bytes (21 = 2 MiB).
+    pub region_shift: u32,
+    /// Fraction of previous hotness retained per window, in `[0, 1)`.
+    ///
+    /// `hot_new = cooling * hot_old + samples_this_window`. Higher values age
+    /// hot pages to cold more gradually.
+    pub cooling: f64,
+    /// Modeled CPU cost of processing one sample, in nanoseconds (used for
+    /// the TierScape-tax accounting of Fig. 14).
+    pub sample_cost_ns: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_period: DEFAULT_SAMPLE_PERIOD,
+            region_shift: DEFAULT_REGION_SHIFT,
+            cooling: 0.5,
+            sample_cost_ns: 200.0,
+        }
+    }
+}
+
+/// Deterministic 1-in-N sampler.
+///
+/// PEBS fires after a counter overflows every N events; a deterministic
+/// modulus reproduces the same *statistical* coverage for synthetic streams
+/// while keeping runs exactly repeatable.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    period: u64,
+    countdown: u64,
+    /// Total events observed (sampled or not).
+    pub events: u64,
+    /// Total samples taken.
+    pub samples: u64,
+}
+
+impl Sampler {
+    /// Create a sampler with the given period (>= 1).
+    pub fn new(period: u64) -> Self {
+        let period = period.max(1);
+        Sampler {
+            period,
+            countdown: period,
+            events: 0,
+            samples: 0,
+        }
+    }
+
+    /// Observe one event; returns true when this event is sampled.
+    #[inline]
+    pub fn observe(&mut self) -> bool {
+        self.events += 1;
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.samples += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Aggregated counts for one region within one profile window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionCounts {
+    /// Sampled load events.
+    pub loads: u64,
+    /// Sampled store events.
+    pub stores: u64,
+}
+
+impl RegionCounts {
+    /// Total sampled accesses.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// A cooled hotness snapshot at the end of a profile window.
+#[derive(Debug, Clone, Default)]
+pub struct HotnessSnapshot {
+    /// Monotonic window number (first window = 1).
+    pub window: u64,
+    /// Region id -> cooled hotness value.
+    map: HashMap<u64, f64>,
+    /// Raw (uncooled) sample counts of this window.
+    raw: HashMap<u64, RegionCounts>,
+}
+
+impl HotnessSnapshot {
+    /// Cooled hotness of `region` (0.0 if never sampled).
+    pub fn hotness(&self, region: u64) -> f64 {
+        self.map.get(&region).copied().unwrap_or(0.0)
+    }
+
+    /// Raw sample counts of `region` in this window.
+    pub fn raw_counts(&self, region: u64) -> RegionCounts {
+        self.raw.get(&region).copied().unwrap_or_default()
+    }
+
+    /// Iterator over `(region, hotness)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.map.iter().map(|(&r, &h)| (r, h))
+    }
+
+    /// Number of tracked regions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no region has ever been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The hotness value at percentile `p` (0..=100) across tracked regions.
+    ///
+    /// Returns 0.0 for an empty snapshot. `percentile(25.0)` reproduces the
+    /// paper's 25th-percentile tiering threshold.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        let mut values: Vec<f64> = self.map.values().copied().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("hotness is never NaN"));
+        let idx = ((p.clamp(0.0, 100.0) / 100.0) * (values.len() - 1) as f64).round() as usize;
+        values[idx]
+    }
+
+    /// Regions with hotness >= `threshold`, sorted hottest first.
+    pub fn regions_at_or_above(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(_, &h)| h >= threshold)
+            .map(|(&r, &h)| (r, h))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("hotness is never NaN"));
+        v
+    }
+
+    /// Regions with hotness < `threshold`, sorted coldest first.
+    pub fn regions_below(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(_, &h)| h < threshold)
+            .map(|(&r, &h)| (r, h))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("hotness is never NaN"));
+        v
+    }
+}
+
+/// Cross-window hotness tracker with exponential cooling.
+#[derive(Debug, Clone)]
+pub struct HotnessTracker {
+    cooling: f64,
+    hotness: HashMap<u64, f64>,
+    window: u64,
+}
+
+impl HotnessTracker {
+    /// Create a tracker with the given cooling factor in `[0, 1)`.
+    pub fn new(cooling: f64) -> Self {
+        HotnessTracker {
+            cooling: cooling.clamp(0.0, 0.999),
+            hotness: HashMap::new(),
+            window: 0,
+        }
+    }
+
+    /// Fold one window's raw counts into the cooled hotness and produce a
+    /// snapshot. Regions absent this window still cool toward zero; regions
+    /// whose hotness decays below a small epsilon are dropped.
+    pub fn fold_window(&mut self, raw: HashMap<u64, RegionCounts>) -> HotnessSnapshot {
+        self.window += 1;
+        // Cool every known region first.
+        for h in self.hotness.values_mut() {
+            *h *= self.cooling;
+        }
+        for (&region, counts) in &raw {
+            *self.hotness.entry(region).or_insert(0.0) += counts.total() as f64;
+        }
+        self.hotness.retain(|_, h| *h > 1e-6);
+        HotnessSnapshot {
+            window: self.window,
+            map: self.hotness.clone(),
+            raw,
+        }
+    }
+
+    /// Current window count.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+/// End-to-end profiler: sampling + region aggregation + cooling.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    config: TelemetryConfig,
+    sampler: Sampler,
+    current: HashMap<u64, RegionCounts>,
+    tracker: HotnessTracker,
+    /// Modeled cumulative profiling cost in nanoseconds (Fig. 14 tax).
+    pub profiling_cost_ns: f64,
+}
+
+impl Profiler {
+    /// Create a profiler.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Profiler {
+            config,
+            sampler: Sampler::new(config.sample_period),
+            current: HashMap::new(),
+            tracker: HotnessTracker::new(config.cooling),
+            profiling_cost_ns: 0.0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Region id of a virtual address under the configured region size.
+    #[inline]
+    pub fn region_of(&self, addr: u64) -> u64 {
+        addr >> self.config.region_shift
+    }
+
+    /// Observe one memory access event at `addr`.
+    #[inline]
+    pub fn record(&mut self, addr: u64, is_store: bool) {
+        if !self.sampler.observe() {
+            return;
+        }
+        self.profiling_cost_ns += self.config.sample_cost_ns;
+        let entry = self.current.entry(self.region_of(addr)).or_default();
+        if is_store {
+            entry.stores += 1;
+        } else {
+            entry.loads += 1;
+        }
+    }
+
+    /// Close the current profile window: fold into cooled hotness and reset
+    /// the window accumulator.
+    pub fn end_window(&mut self) -> HotnessSnapshot {
+        let raw = std::mem::take(&mut self.current);
+        self.tracker.fold_window(raw)
+    }
+
+    /// Total events and samples seen so far.
+    pub fn sampler_stats(&self) -> (u64, u64) {
+        (self.sampler.events, self.sampler.samples)
+    }
+}
+
+impl TelemetrySource for Profiler {
+    fn record(&mut self, addr: u64, is_store: bool) {
+        Profiler::record(self, addr, is_store);
+    }
+
+    fn end_window(&mut self) -> HotnessSnapshot {
+        Profiler::end_window(self)
+    }
+
+    fn cost_ns(&self) -> f64 {
+        self.profiling_cost_ns
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "pebs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period: u64) -> TelemetryConfig {
+        TelemetryConfig {
+            sample_period: period,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    #[test]
+    fn sampler_takes_one_in_n() {
+        let mut s = Sampler::new(100);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if s.observe() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 100);
+        assert_eq!(s.events, 10_000);
+        assert_eq!(s.samples, 100);
+    }
+
+    #[test]
+    fn period_one_samples_everything() {
+        let mut s = Sampler::new(1);
+        assert!(s.observe());
+        assert!(s.observe());
+    }
+
+    #[test]
+    fn region_aggregation_2mb() {
+        let mut p = Profiler::new(cfg(1));
+        p.record(0, false); // region 0
+        p.record((1 << 21) - 1, false); // still region 0
+        p.record(1 << 21, true); // region 1
+        let snap = p.end_window();
+        assert_eq!(snap.raw_counts(0).loads, 2);
+        assert_eq!(snap.raw_counts(1).stores, 1);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn cooling_ages_hot_to_cold_gradually() {
+        let mut p = Profiler::new(cfg(1));
+        for _ in 0..1000 {
+            p.record(0, false);
+        }
+        let h1 = p.end_window().hotness(0);
+        assert!((h1 - 1000.0).abs() < 1e-9);
+        // No further accesses: hotness halves each window (cooling 0.5).
+        let h2 = p.end_window().hotness(0);
+        let h3 = p.end_window().hotness(0);
+        assert!((h2 - 500.0).abs() < 1e-9);
+        assert!((h3 - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decayed_regions_dropped() {
+        let mut t = HotnessTracker::new(0.5);
+        let mut raw = HashMap::new();
+        raw.insert(
+            5u64,
+            RegionCounts {
+                loads: 1,
+                stores: 0,
+            },
+        );
+        t.fold_window(raw);
+        let mut last = 0usize;
+        for _ in 0..40 {
+            last = t.fold_window(HashMap::new()).len();
+        }
+        assert_eq!(last, 0, "fully cooled region should be dropped");
+    }
+
+    #[test]
+    fn percentile_thresholds() {
+        let mut t = HotnessTracker::new(0.0);
+        let mut raw = HashMap::new();
+        for r in 0..100u64 {
+            // Hotness 1..=100 (zero-hotness regions are dropped by design).
+            raw.insert(
+                r,
+                RegionCounts {
+                    loads: r + 1,
+                    stores: 0,
+                },
+            );
+        }
+        let snap = t.fold_window(raw);
+        assert_eq!(snap.len(), 100);
+        let p25 = snap.percentile(25.0);
+        let p75 = snap.percentile(75.0);
+        assert!(p25 < p75);
+        assert!((p25 - 26.0).abs() <= 1.0, "p25={p25}");
+        assert!((p75 - 75.0).abs() <= 1.5, "p75={p75}");
+        // Splitting at p25 marks ~3/4 of regions "hot" (>= threshold).
+        let hot = snap.regions_at_or_above(p25).len();
+        let cold = snap.regions_below(p25).len();
+        assert_eq!(hot + cold, 100);
+        assert!((73..=77).contains(&hot), "hot={hot}");
+    }
+
+    #[test]
+    fn percentile_empty_snapshot() {
+        let snap = HotnessSnapshot::default();
+        assert_eq!(snap.percentile(50.0), 0.0);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn hot_and_cold_sorted() {
+        let mut t = HotnessTracker::new(0.0);
+        let mut raw = HashMap::new();
+        for (r, n) in [(1u64, 50u64), (2, 10), (3, 90)] {
+            raw.insert(
+                r,
+                RegionCounts {
+                    loads: n,
+                    stores: 0,
+                },
+            );
+        }
+        let snap = t.fold_window(raw);
+        let hot = snap.regions_at_or_above(0.0);
+        assert_eq!(hot[0].0, 3);
+        assert_eq!(hot[2].0, 2);
+        let cold = snap.regions_below(100.0);
+        assert_eq!(cold[0].0, 2);
+    }
+
+    #[test]
+    fn profiling_cost_accumulates_per_sample() {
+        let mut p = Profiler::new(cfg(10));
+        for i in 0..1000u64 {
+            p.record(i * 64, false);
+        }
+        let (events, samples) = p.sampler_stats();
+        assert_eq!(events, 1000);
+        assert_eq!(samples, 100);
+        assert!((p.profiling_cost_ns - 100.0 * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_preserves_relative_hotness() {
+        // A region with 10x the accesses should show ~10x the samples.
+        let mut p = Profiler::new(cfg(97));
+        for i in 0..100_000u64 {
+            let addr = if i % 11 == 0 { 1u64 << 21 } else { 0 };
+            p.record(addr, false);
+        }
+        let snap = p.end_window();
+        let h0 = snap.hotness(0);
+        let h1 = snap.hotness(1);
+        let ratio = h0 / h1.max(1e-9);
+        assert!(ratio > 5.0 && ratio < 20.0, "ratio {ratio}");
+    }
+}

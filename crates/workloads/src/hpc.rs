@@ -1,0 +1,332 @@
+//! HPC / ML workloads: XSBench-like and GraphSAGE-like access patterns.
+//!
+//! * [`XsBench`] — the Monte Carlo neutron-transport macroscopic
+//!   cross-section lookup kernel: each "particle history" binary-searches a
+//!   unionized energy grid (hot index) and then gathers rows from a huge
+//!   nuclide cross-section table (uniformly warm — XSBench is famously
+//!   cache-hostile, RSS 119 GB in the paper's XL configuration).
+//! * [`GraphSage`] — minibatch GNN training: sample seed nodes (skewed),
+//!   sample neighbors via an rMat adjacency, and gather their embedding rows
+//!   (a large, moderately hot table with a popular head set).
+
+use crate::corpus::PageClass;
+use crate::graph::{rmat, CsrGraph};
+use crate::{Access, Workload, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// XSBench-like cross-section lookup workload.
+#[derive(Debug)]
+pub struct XsBench {
+    description: String,
+    /// Pages of the unionized energy grid (hot index).
+    grid_pages: u64,
+    /// Pages of the nuclide cross-section table.
+    table_pages: u64,
+    /// Rows gathered per lookup (number of nuclides in the material).
+    rows_per_lookup: usize,
+    seed: u64,
+    rng: SmallRng,
+    pending: Vec<Access>,
+}
+
+impl XsBench {
+    /// Create a workload of roughly `rss_bytes` (2 % index grid, 98 % table).
+    pub fn new(rss_bytes: u64, seed: u64) -> Self {
+        let grid_bytes = (rss_bytes / 50).max(PAGE_SIZE as u64);
+        let table_bytes = rss_bytes.saturating_sub(grid_bytes).max(PAGE_SIZE as u64);
+        XsBench {
+            description: "XSBench-like Monte Carlo cross-section lookups (XL)".to_string(),
+            grid_pages: grid_bytes.div_ceil(PAGE_SIZE as u64),
+            table_pages: table_bytes.div_ceil(PAGE_SIZE as u64),
+            rows_per_lookup: 12,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            pending: Vec::with_capacity(24),
+        }
+    }
+}
+
+impl Workload for XsBench {
+    fn name(&self) -> &str {
+        "xsbench"
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn rss_bytes(&self) -> u64 {
+        (self.grid_pages + self.table_pages) * PAGE_SIZE as u64
+    }
+
+    fn page_class(&self, page: u64) -> PageClass {
+        if page < self.grid_pages {
+            // Sorted energy grid: monotone doubles compress well.
+            PageClass::HighlyCompressible
+        } else {
+            // Cross sections: doubles with structure, mildly compressible.
+            PageClass::Binary
+        }
+    }
+
+    fn content_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn next_access(&mut self) -> Access {
+        if let Some(a) = self.pending.pop() {
+            return a;
+        }
+        // One particle history: binary search the grid (log2 touches over a
+        // shrinking range), then gather rows scattered through the table.
+        let grid_bytes = self.grid_pages * PAGE_SIZE as u64;
+        let mut lo = 0u64;
+        let mut hi = grid_bytes / 8;
+        let target = self.rng.random_range(0..hi);
+        let mut probes = Vec::new();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            probes.push(Access {
+                addr: mid * 8,
+                is_store: false,
+            });
+            if mid < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Row gathers: the energy bucket selects a band of the table; rows
+        // scatter within a band (spatially decorrelated, uniformly warm).
+        let table_base = grid_bytes;
+        let table_bytes = self.table_pages * PAGE_SIZE as u64;
+        for _ in 0..self.rows_per_lookup {
+            let row = self.rng.random_range(0..table_bytes / 256);
+            self.pending.push(Access {
+                addr: table_base + row * 256,
+                is_store: false,
+            });
+        }
+        for p in probes.into_iter().rev() {
+            self.pending.push(p);
+        }
+        self.pending.pop().expect("just filled")
+    }
+}
+
+/// GraphSAGE-like minibatch embedding-gather workload.
+#[derive(Debug)]
+pub struct GraphSage {
+    description: String,
+    graph: CsrGraph,
+    /// Bytes per embedding row.
+    row_bytes: u64,
+    /// Pages holding the adjacency (before the embedding table).
+    adj_pages: u64,
+    emb_pages: u64,
+    fanout: usize,
+    batch: usize,
+    seed: u64,
+    rng: SmallRng,
+    pending: Vec<Access>,
+}
+
+impl GraphSage {
+    /// Create a workload: rMat adjacency of `1 << scale` nodes plus an
+    /// embedding table sized to bring total RSS near `rss_bytes`.
+    pub fn new(rss_bytes: u64, scale: u32, seed: u64) -> Self {
+        let graph = rmat(scale, 12, seed);
+        let adj_bytes = ((graph.offsets.len() * 8 + graph.neighbors.len() * 4) as u64)
+            .div_ceil(PAGE_SIZE as u64)
+            * PAGE_SIZE as u64;
+        let emb_bytes = rss_bytes.saturating_sub(adj_bytes).max(PAGE_SIZE as u64);
+        let row_bytes = (emb_bytes / graph.n() as u64).clamp(256, 4096) / 64 * 64;
+        let emb_pages = (graph.n() as u64 * row_bytes).div_ceil(PAGE_SIZE as u64);
+        GraphSage {
+            description: format!(
+                "GraphSAGE-like minibatch gathers over {} nodes, {} B embeddings",
+                graph.n(),
+                row_bytes
+            ),
+            graph,
+            row_bytes,
+            adj_pages: adj_bytes / PAGE_SIZE as u64,
+            emb_pages,
+            fanout: 8,
+            batch: 16,
+            seed,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5A6E),
+            pending: Vec::with_capacity(256),
+        }
+    }
+
+    fn emb_addr(&self, v: u32) -> u64 {
+        self.adj_pages * PAGE_SIZE as u64 + v as u64 * self.row_bytes
+    }
+}
+
+impl Workload for GraphSage {
+    fn name(&self) -> &str {
+        "graphsage"
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn rss_bytes(&self) -> u64 {
+        (self.adj_pages + self.emb_pages) * PAGE_SIZE as u64
+    }
+
+    fn page_class(&self, page: u64) -> PageClass {
+        if page < self.adj_pages {
+            PageClass::HighlyCompressible
+        } else {
+            // Trained float embeddings are close to incompressible, but
+            // quantization structure leaves a little redundancy.
+            PageClass::Binary
+        }
+    }
+
+    fn content_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn next_access(&mut self) -> Access {
+        if let Some(a) = self.pending.pop() {
+            return a;
+        }
+        // One minibatch: skewed seeds (power-law via rMat degrees — reuse
+        // degree skew by biasing toward low vertex ids after hashing).
+        let n = self.graph.n() as u32;
+        for _ in 0..self.batch {
+            // Skewed seed pick: square a uniform to bias toward 0, then
+            // scramble so hot seeds scatter across the table.
+            let u: f64 = self.rng.random();
+            let biased = ((u * u) * n as f64) as u32 % n;
+            let seed_v = (crate::dist::fnv1a(biased as u64) % n as u64) as u32;
+            // Adjacency offsets touch.
+            self.pending.push(Access {
+                addr: seed_v as u64 * 8,
+                is_store: false,
+            });
+            self.pending.push(Access {
+                addr: self.emb_addr(seed_v),
+                is_store: false,
+            });
+            let deg = self.graph.degree(seed_v);
+            if deg == 0 {
+                continue;
+            }
+            for _ in 0..self.fanout.min(deg) {
+                let k = self.rng.random_range(0..deg);
+                let w = self.graph.neighbors_of(seed_v)[k];
+                self.pending.push(Access {
+                    addr: self.emb_addr(w),
+                    is_store: false,
+                });
+            }
+        }
+        // Gradient write-back to the seed embeddings (stores).
+        let write = self.rng.random_range(0..n);
+        self.pending.push(Access {
+            addr: self.emb_addr(write),
+            is_store: true,
+        });
+        self.pending.pop().expect("just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xsbench_bounds_and_mix() {
+        let mut w = XsBench::new(64 << 20, 9);
+        let rss = w.rss_bytes();
+        let mut grid_hits = 0u64;
+        let mut table_hits = 0u64;
+        for _ in 0..100_000 {
+            let a = w.next_access();
+            assert!(a.addr < rss);
+            if a.addr / PAGE_SIZE as u64 <= w.grid_pages {
+                grid_hits += 1;
+            } else {
+                table_hits += 1;
+            }
+        }
+        assert!(grid_hits > 0 && table_hits > 0);
+        // Binary search + 12 gathers: roughly comparable magnitudes.
+        assert!(
+            grid_hits > table_hits / 4,
+            "grid {grid_hits} table {table_hits}"
+        );
+    }
+
+    #[test]
+    fn xsbench_table_is_uniformly_warm() {
+        let mut w = XsBench::new(32 << 20, 3);
+        let mut counts = std::collections::HashMap::<u64, u64>::new();
+        for _ in 0..200_000 {
+            let a = w.next_access();
+            let p = a.addr / PAGE_SIZE as u64;
+            if p >= w.grid_pages {
+                *counts.entry(p).or_default() += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let mean = counts.values().sum::<u64>() as f64 / counts.len() as f64;
+        assert!(
+            (max as f64) < mean * 8.0,
+            "max {max} mean {mean} — should be near-uniform"
+        );
+    }
+
+    #[test]
+    fn graphsage_bounds_and_hot_head() {
+        let mut w = GraphSage::new(64 << 20, 10, 4);
+        let rss = w.rss_bytes();
+        let mut counts = std::collections::HashMap::<u64, u64>::new();
+        for _ in 0..300_000 {
+            let a = w.next_access();
+            assert!(a.addr < rss);
+            *counts.entry(a.addr / PAGE_SIZE as u64).or_default() += 1;
+        }
+        // Embedding pages must show skew (hot head of popular nodes).
+        let emb_first = w.adj_pages;
+        let mut emb: Vec<u64> = counts
+            .iter()
+            .filter(|(&p, _)| p >= emb_first)
+            .map(|(_, &c)| c)
+            .collect();
+        emb.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = emb.iter().take(emb.len() / 20 + 1).sum();
+        let total: u64 = emb.iter().sum();
+        assert!(
+            top as f64 / total as f64 > 0.10,
+            "head share {}",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn graphsage_issues_stores() {
+        let mut w = GraphSage::new(16 << 20, 9, 4);
+        let mut stores = 0;
+        for _ in 0..50_000 {
+            if w.next_access().is_store {
+                stores += 1;
+            }
+        }
+        assert!(stores > 0);
+    }
+
+    #[test]
+    fn embedding_rows_are_aligned() {
+        let w = GraphSage::new(32 << 20, 9, 4);
+        assert_eq!(w.row_bytes % 64, 0);
+        assert!(w.row_bytes >= 256);
+    }
+}

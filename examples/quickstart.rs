@@ -1,0 +1,62 @@
+//! Quickstart: build the paper's standard mix of tiers, run a Memcached-like
+//! workload under the analytical model, and print the TCO/performance
+//! outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tierscape::core::prelude::*;
+use tierscape::sim::TieredSystem;
+use tierscape::workloads::{Scale, WorkloadId};
+
+fn main() {
+    // 1. Pick a system shape: DRAM + NVMM + CT-1 (lzo/zsmalloc/DRAM) +
+    //    CT-2 (zstd/zsmalloc/NVMM) — the paper's "standard mix".
+    let setup = SystemSetup::standard_mix();
+    println!("tiers: {:?}", setup.tiers());
+
+    // 2. Pick a workload (Table 2) at a laptop-friendly scale.
+    let workload = WorkloadId::MemcachedYcsb.build(Scale(1.0 / 1024.0), 42);
+    println!(
+        "workload: {} ({} MiB RSS)",
+        workload.name(),
+        workload.rss_bytes() >> 20
+    );
+
+    // 3. Build the simulated tiered system; all pages start in DRAM.
+    let rss = workload.rss_bytes();
+    let setup = SystemSetup::standard_mix_for(rss, tierscape::sim::Fidelity::Modeled, 42);
+    // 200 ns of application compute per access makes the reported slowdown
+    // application-level (as the paper measures it) rather than a ratio of
+    // raw memory times.
+    let mut system = TieredSystem::new(setup.into_sim_config().with_compute_ns(200.0), workload)
+        .expect("standard mix is a valid configuration");
+
+    // 4. Run the TS-Daemon with the analytical model at a balanced knob
+    //    setting (alpha 0.5; `AnalyticalModel::am_tco()` / `am_perf()` are
+    //    the paper's TCO- and performance-preferred presets).
+    let mut policy = AnalyticalModel::new(0.5).labeled("AM(0.5)");
+    let cfg = DaemonConfig {
+        windows: 10,
+        window_accesses: 100_000,
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut system, &mut policy, &cfg);
+
+    // 5. Inspect the outcome.
+    println!("\nwindow  dram   nvmm   ct1    ct2    tco");
+    for w in &report.windows {
+        println!(
+            "{:>6}  {:>5}  {:>5}  {:>5}  {:>5}  {:.4}",
+            w.window, w.actual[0], w.actual[1], w.actual[2], w.actual[3], w.tco_now
+        );
+    }
+    println!(
+        "\n{}: TCO savings {:.1}% at {:.1}% slowdown (daemon tax {:.2}%)",
+        report.policy,
+        report.tco_savings() * 100.0,
+        report.slowdown() * 100.0,
+        report.tax_fraction() * 100.0
+    );
+}

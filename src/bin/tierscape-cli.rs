@@ -1,0 +1,266 @@
+//! `tierscape-cli` — run TierScape experiments from the command line.
+//!
+//! ```text
+//! tierscape-cli list
+//! tierscape-cli run --workload memcached-ycsb --policy am --alpha 0.2
+//! tierscape-cli run --workload pagerank --policy waterfall --threshold 25
+//! tierscape-cli advise --workload xsbench --tiers 3
+//! tierscape-cli characterize
+//! ```
+
+use tierscape::core::prelude::*;
+use tierscape::sim::{Calibration, Fidelity, SimConfig, TieredSystem};
+use tierscape::telemetry::{Profiler, TelemetryConfig};
+use tierscape::workloads::{Scale, WorkloadId};
+
+fn usage() -> ! {
+    eprintln!(
+        "tierscape-cli — TierScape experiments\n\n\
+         USAGE:\n\
+         \x20 tierscape-cli list\n\
+         \x20 tierscape-cli run [--workload NAME] [--policy am|waterfall|hemem|gswap|tmo]\n\
+         \x20                   [--alpha A] [--threshold PCT] [--setup standard|spectrum]\n\
+         \x20                   [--windows N] [--accesses N] [--scale-div D] [--seed S]\n\
+         \x20                   [--content-aware] [--prefetch] [--real]\n\
+         \x20 tierscape-cli advise [--workload NAME] [--tiers K]\n\
+         \x20 tierscape-cli characterize\n"
+    );
+    std::process::exit(2);
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn workload_of(args: &Args) -> WorkloadId {
+    let name = args.value("--workload").unwrap_or("memcached-ycsb");
+    WorkloadId::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}' (try `tierscape-cli list`)");
+            std::process::exit(2);
+        })
+}
+
+fn cmd_list() {
+    println!("{:<22} {:>9} {:<}", "workload", "paper RSS", "description");
+    for id in WorkloadId::ALL {
+        println!(
+            "{:<22} {:>6} GB  {}",
+            id.name(),
+            id.paper_rss_gb(),
+            id.description()
+        );
+    }
+    println!("\npolicies: am (--alpha), waterfall|hemem|gswap|tmo (--threshold)");
+    println!("setups:   standard (DRAM+NVMM+CT-1+CT-2), spectrum (DRAM+C1,C2,C4,C7,C12)");
+}
+
+fn cmd_run(args: &Args) {
+    let id = workload_of(args);
+    let scale_div: f64 = args.parse("--scale-div", 1024.0);
+    let seed: u64 = args.parse("--seed", 42);
+    let windows: u64 = args.parse("--windows", 12);
+    let accesses: u64 = args.parse("--accesses", 150_000);
+    let fidelity = if args.flag("--real") {
+        Fidelity::Real
+    } else {
+        Fidelity::Modeled
+    };
+
+    let workload = id.build(Scale(1.0 / scale_div), seed);
+    let rss = workload.rss_bytes();
+    let setup = args.value("--setup").unwrap_or("standard");
+    let cfg = match setup {
+        "spectrum" => SimConfig::spectrum(rss, fidelity, seed),
+        "standard" => SimConfig::standard_mix(rss, fidelity, seed),
+        other => {
+            eprintln!("unknown setup '{other}'");
+            std::process::exit(2);
+        }
+    }
+    .with_compute_ns(args.parse("--compute-ns", 200.0));
+    let mut system = TieredSystem::new(cfg, workload).expect("valid configuration");
+
+    let alpha: f64 = args.parse("--alpha", 0.2);
+    let threshold: f64 = args.parse("--threshold", 25.0);
+    let base: Box<dyn PlacementPolicy> = match args.value("--policy").unwrap_or("am") {
+        "am" => {
+            let mut m = AnalyticalModel::new(alpha);
+            if args.flag("--content-aware") {
+                m = m.content_aware();
+            }
+            Box::new(m)
+        }
+        "waterfall" => Box::new(WaterfallModel::new(threshold)),
+        "hemem" => Box::new(ThresholdPolicy::hemem(threshold)),
+        "gswap" => Box::new(ThresholdPolicy::gswap(threshold)),
+        "tmo" => Box::new(ThresholdPolicy::tmo(threshold, 1)),
+        other => {
+            eprintln!("unknown policy '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let mut policy: Box<dyn PlacementPolicy> = if args.flag("--prefetch") {
+        Box::new(PrefetchingPolicy::new(BoxedPolicy(base)))
+    } else {
+        base
+    };
+
+    let dcfg = DaemonConfig {
+        windows,
+        window_accesses: accesses,
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut system, policy.as_mut(), &dcfg);
+
+    println!(
+        "policy: {}  workload: {} ({} MiB RSS)",
+        report.policy,
+        id.name(),
+        rss >> 20
+    );
+    println!("\nwindow  placement (pages per tier)                 tco");
+    for w in &report.windows {
+        let counts: Vec<String> = w.actual.iter().map(|c| format!("{c:>6}")).collect();
+        println!("{:>6}  {}  {:.4}", w.window, counts.join(" "), w.tco_now);
+    }
+    println!(
+        "\nTCO savings {:.1}%  slowdown {:.1}%  p95 {:.2}us  daemon tax {:.2}%",
+        report.tco_savings() * 100.0,
+        report.slowdown() * 100.0,
+        report.perf.p95_ns / 1000.0,
+        report.tax_fraction() * 100.0
+    );
+}
+
+/// Adapter: `PrefetchingPolicy<P>` needs `P: PlacementPolicy`, and a boxed
+/// trait object satisfies that through this newtype.
+struct BoxedPolicy(Box<dyn PlacementPolicy>);
+
+impl PlacementPolicy for BoxedPolicy {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn plan(
+        &mut self,
+        snapshot: &tierscape::telemetry::HotnessSnapshot,
+        system: &TieredSystem,
+    ) -> Vec<PlanEntry> {
+        self.0.plan(snapshot, system)
+    }
+    fn last_plan_cost_ns(&self) -> f64 {
+        self.0.last_plan_cost_ns()
+    }
+    fn plan_cost_is_local(&self) -> bool {
+        self.0.plan_cost_is_local()
+    }
+}
+
+fn cmd_advise(args: &Args) {
+    let id = workload_of(args);
+    let k: usize = args.parse("--tiers", 3);
+    let seed: u64 = args.parse("--seed", 42);
+    let workload = id.build(Scale(1.0 / args.parse("--scale-div", 1024.0)), seed);
+    let rss = workload.rss_bytes();
+    let mut system = TieredSystem::new(
+        SimConfig::standard_mix(rss, Fidelity::Modeled, seed),
+        workload,
+    )
+    .expect("valid configuration");
+    let mut profiler = Profiler::new(TelemetryConfig {
+        sample_period: 29,
+        ..TelemetryConfig::default()
+    });
+    for _ in 0..args.parse("--accesses", 150_000u64) {
+        let (a, _) = system.step();
+        profiler.record(a.addr, a.is_store);
+    }
+    let snapshot = profiler.end_window();
+    let profile = WorkloadProfile::from_system(&system, &snapshot);
+    let calib = Calibration::build(seed);
+    let sel = TierSelector {
+        max_tiers: k,
+        lambda: 1e-5,
+        ..TierSelector::default()
+    };
+    let choice = sel.select(&profile, &calib);
+    println!("advised tier set for {} (k <= {k}):", id.name());
+    for t in &choice.tiers {
+        println!(
+            "  {:<10} {:<9} {:<5}  decomp {:>6.1} us  nominal ratio {:.2}",
+            t.algorithm.name(),
+            t.pool.name(),
+            t.media.name(),
+            t.decompress_latency_ns() / 1000.0,
+            t.nominal_ratio()
+        );
+    }
+    println!("expected TCO vs all-DRAM: {:.2}", choice.expected_tco_ratio);
+}
+
+fn cmd_characterize() {
+    use tierscape::workloads::PageClass;
+    use tierscape::zswap::TierConfig;
+    println!(
+        "{:<6} {:<22} {:>10} {:>8}",
+        "tier", "config", "decomp_us", "ratio"
+    );
+    for cfg in TierConfig::characterized_12() {
+        println!(
+            "{:<6} {:<22} {:>10.1} {:>8.2}",
+            cfg.label,
+            format!(
+                "{}/{}/{}",
+                cfg.algorithm.name(),
+                cfg.pool.name(),
+                cfg.media.name()
+            ),
+            cfg.decompress_latency_ns() / 1000.0,
+            cfg.nominal_ratio()
+        );
+    }
+    let calib = Calibration::build(42);
+    println!("\ncalibrated ratios (zstd):");
+    for class in PageClass::ALL {
+        let s = calib.stats(tierscape::compress::Algorithm::Zstd, class);
+        println!(
+            "  {class:?}: mean {:.2}, reject rate {:.2}",
+            s.mean, s.reject_rate
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(|s| s.as_str()) else {
+        usage()
+    };
+    let args = Args(argv[1..].to_vec());
+    match cmd {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args),
+        "advise" => cmd_advise(&args),
+        "characterize" => cmd_characterize(),
+        _ => usage(),
+    }
+}

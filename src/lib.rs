@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # TierScape
+//!
+//! A Rust reproduction of *"TierScape: Harnessing Multiple Compressed Tiers
+//! to Tame Server Memory TCO"* (EuroSys '26).
+//!
+//! This facade crate re-exports every workspace crate under one namespace so
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`compress`] — from-scratch codecs (lz4, lzo, lzo-rle, deflate, zstd, 842).
+//! * [`mem`] — simulated memory media (DRAM/NVMM/CXL), buddy allocator.
+//! * [`zpool`] — compressed-object pool allocators (zbud, z3fold, zsmalloc).
+//! * [`zswap`] — multi-tier compressed memory subsystem.
+//! * [`telemetry`] — PEBS-style sampled access profiling and region hotness.
+//! * [`solver`] — LP/ILP and multiple-choice knapsack solvers.
+//! * [`sim`] — tiered-memory system simulator (fault path, migration, TCO).
+//! * [`workloads`] — workload generators and corpus synthesizers.
+//! * [`core`] — the TierScape placement models and TS-Daemon.
+//!
+//! # Examples
+//!
+//! ```
+//! use tierscape::core::prelude::*;
+//!
+//! // Build the paper's "standard mix": DRAM + NVMM + CT-1 + CT-2.
+//! let setup = SystemSetup::standard_mix();
+//! assert_eq!(setup.tiers().len(), 4);
+//! ```
+
+pub use ts_compress as compress;
+pub use ts_mem as mem;
+pub use ts_sim as sim;
+pub use ts_solver as solver;
+pub use ts_telemetry as telemetry;
+pub use ts_workloads as workloads;
+pub use ts_zpool as zpool;
+pub use ts_zswap as zswap;
+
+/// The TierScape core: placement models and the TS-Daemon.
+pub mod core {
+    pub use tierscape_core::*;
+}

@@ -1,0 +1,269 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tierscape::compress::{Algorithm, CodecError};
+use tierscape::mem::{BuddyAllocator, Machine, MediaKind, NodeId};
+use tierscape::solver::mckp::{MckpItem, MckpProblem};
+use tierscape::zpool::PoolKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every codec round-trips arbitrary byte strings (or honestly rejects
+    /// them as incompressible — never corrupts).
+    #[test]
+    fn codecs_round_trip_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..6000),
+        algo_idx in 0usize..7,
+    ) {
+        let algo = Algorithm::ALL[algo_idx];
+        let codec = algo.codec();
+        let mut compressed = Vec::new();
+        match codec.compress(&data, &mut compressed) {
+            Ok(n) => {
+                prop_assert!(n < data.len() || data.is_empty());
+                let mut out = Vec::new();
+                codec.decompress(&compressed[..n], &mut out).expect("own output is valid");
+                prop_assert_eq!(out, data);
+            }
+            Err(CodecError::Incompressible { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Codecs round-trip *structured* (compressible) data and always shrink it.
+    #[test]
+    fn codecs_shrink_repetitive_data(
+        unit in proptest::collection::vec(any::<u8>(), 1..24),
+        reps in 64usize..256,
+        algo_idx in 0usize..7,
+    ) {
+        let algo = Algorithm::ALL[algo_idx];
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let codec = algo.codec();
+        let mut compressed = Vec::new();
+        let n = codec.compress(&data, &mut compressed)
+            .expect("repetitive data is always compressible");
+        prop_assert!(n < data.len());
+        let mut out = Vec::new();
+        codec.decompress(&compressed[..n], &mut out).expect("valid");
+        prop_assert_eq!(out, data);
+    }
+
+    /// Decoders never panic or loop on corrupted input — they error or
+    /// produce *some* output, but memory safety and termination hold.
+    #[test]
+    fn decoders_survive_fuzzed_input(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2000),
+        algo_idx in 0usize..7,
+    ) {
+        let algo = Algorithm::ALL[algo_idx];
+        let codec = algo.codec();
+        let mut out = Vec::new();
+        let _ = codec.decompress(&garbage, &mut out);
+    }
+
+    /// Buddy allocator: arbitrary alloc/free sequences preserve the frame
+    /// accounting invariant and full coalescing on quiescence.
+    #[test]
+    fn buddy_allocator_invariants(ops in proptest::collection::vec((0u32..4, 0usize..64), 1..200)) {
+        let mut buddy = BuddyAllocator::new(1 << 10);
+        let mut live = Vec::new();
+        for (order, pick) in ops {
+            if live.len() > 24 || (!live.is_empty() && pick % 3 == 0) {
+                let f: tierscape::mem::FrameNumber = live.swap_remove(pick % live.len());
+                buddy.free(f).expect("live frame frees cleanly");
+            } else if let Ok(f) = buddy.alloc(order) {
+                live.push(f);
+            }
+            prop_assert_eq!(
+                buddy.used_frames() + buddy.free_frames(),
+                buddy.total_frames()
+            );
+        }
+        for f in live {
+            buddy.free(f).expect("cleanup");
+        }
+        prop_assert!(buddy.is_idle());
+        // Full coalescing: the largest block must be allocatable again.
+        prop_assert!(buddy.alloc(tierscape::mem::MAX_ORDER).is_ok());
+    }
+
+    /// Pools: every stored object loads back byte-identical under arbitrary
+    /// interleavings of stores and removes, for all three pool managers.
+    #[test]
+    fn pools_preserve_objects(
+        ops in proptest::collection::vec((1usize..3500, any::<u8>(), any::<bool>()), 1..120),
+        kind_idx in 0usize..3,
+    ) {
+        let kind = PoolKind::ALL[kind_idx];
+        let machine = Arc::new(Machine::builder().node(MediaKind::Dram, 16 << 20).build());
+        let mut pool = kind.create(machine, NodeId(0));
+        let mut live: Vec<(tierscape::zpool::Handle, u8, usize)> = Vec::new();
+        for (size, tag, remove) in ops {
+            if remove && !live.is_empty() {
+                let (h, tag, size) = live.swap_remove(size % live.len());
+                let mut out = Vec::new();
+                pool.load(h, &mut out).expect("live");
+                prop_assert_eq!(out, vec![tag; size]);
+                pool.remove(h).expect("live");
+            } else {
+                let h = pool.store(&vec![tag; size]).expect("fits");
+                live.push((h, tag, size));
+            }
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.objects as usize, live.len());
+        for (h, tag, size) in live {
+            let mut out = Vec::new();
+            pool.load(h, &mut out).expect("live");
+            prop_assert_eq!(out, vec![tag; size]);
+            pool.remove(h).expect("live");
+        }
+        prop_assert_eq!(pool.stats().pool_pages, 0);
+    }
+
+    /// MCKP solutions are feasible and the greedy never beats the exact DP
+    /// (which would indicate a DP bug).
+    #[test]
+    fn mckp_feasible_and_consistent(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0u32..100, 0u32..40), 2..5),
+            1..8,
+        ),
+        slack in 0u32..60,
+    ) {
+        let groups: Vec<Vec<MckpItem>> = raw
+            .iter()
+            .map(|g| g.iter().map(|&(p, t)| MckpItem::new(p as f64, t as f64)).collect())
+            .collect();
+        let min_budget: f64 = groups
+            .iter()
+            .map(|g| g.iter().map(|i| i.tco_cost).fold(f64::INFINITY, f64::min))
+            .sum();
+        let problem = MckpProblem { groups, budget: min_budget + slack as f64 };
+        let greedy = problem.solve_greedy().expect("budget covers minimum");
+        let exact = problem.solve_exact_dp(8192).expect("budget covers minimum");
+        prop_assert!(greedy.tco_cost <= problem.budget + 1e-9);
+        prop_assert!(exact.tco_cost <= problem.budget + 1e-9);
+        prop_assert!(exact.perf_cost <= greedy.perf_cost + 1e-9,
+            "exact {} must be <= greedy {}", exact.perf_cost, greedy.perf_cost);
+    }
+
+    /// Latency histogram percentiles are monotone in p and bounded by max.
+    #[test]
+    fn histogram_percentiles_monotone(samples in proptest::collection::vec(1.0f64..1e8, 1..400)) {
+        let mut h = tierscape::sim::LatencyHistogram::new();
+        let mut max = 0.0f64;
+        for &s in &samples {
+            h.record(s);
+            max = max.max(s);
+        }
+        let mut last = 0.0;
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last - 1e-9, "p{p}: {v} < {last}");
+            prop_assert!(v <= max * 1.05 + 1.0);
+            last = v;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The multi-tier zswap subsystem preserves page contents across random
+    /// interleavings of stores, loads, migrations and invalidations, and its
+    /// per-tier page counts always equal the live set.
+    #[test]
+    fn zswap_subsystem_invariants(
+        ops in proptest::collection::vec((0u8..4, 0usize..64, 0usize..3), 1..80),
+    ) {
+        use tierscape::mem::{Machine, MediaKind};
+        use tierscape::workloads::PageClass;
+        use tierscape::zswap::{TierConfig, ZswapError, ZswapSubsystem};
+
+        let machine = Arc::new(
+            Machine::builder()
+                .node(MediaKind::Dram, 32 << 20)
+                .node(MediaKind::Nvmm, 64 << 20)
+                .build(),
+        );
+        let mut z = ZswapSubsystem::new(machine);
+        let tiers = [
+            z.create_tier(TierConfig::ct1()).unwrap(),
+            z.create_tier(TierConfig::ct2()).unwrap(),
+            z.create_tier(TierConfig::characterized_12()[0].clone()).unwrap(),
+        ];
+        // Live pages: (tier, stored, page index used for content).
+        let mut live: Vec<(usize, tierscape::zswap::StoredPage, u64)> = Vec::new();
+        let mut buf = vec![0u8; 4096];
+        for (op, pick, tsel) in ops {
+            match op {
+                // Store a fresh page into tier `tsel`.
+                0 => {
+                    let page_idx = (live.len() as u64).wrapping_mul(7) + pick as u64;
+                    let class = match page_idx % 3 {
+                        0 => PageClass::Text,
+                        1 => PageClass::HighlyCompressible,
+                        _ => PageClass::Zero,
+                    };
+                    class.fill(9, page_idx, &mut buf);
+                    match z.store(tiers[tsel], &buf) {
+                        Ok(s) => live.push((tsel, s, page_idx)),
+                        Err(ZswapError::Incompressible) => {}
+                        Err(e) => prop_assert!(false, "store: {e}"),
+                    }
+                }
+                // Load (fault) a random live page and verify its bytes.
+                1 if !live.is_empty() => {
+                    let (t, s, page_idx) = live.swap_remove(pick % live.len());
+                    let got = z.load(tiers[t], s).expect("live page");
+                    let class = match page_idx % 3 {
+                        0 => PageClass::Text,
+                        1 => PageClass::HighlyCompressible,
+                        _ => PageClass::Zero,
+                    };
+                    class.fill(9, page_idx, &mut buf);
+                    prop_assert_eq!(&got, &buf);
+                }
+                // Migrate a random live page to tier `tsel`.
+                2 if !live.is_empty() => {
+                    let idx = pick % live.len();
+                    let (t, s, page_idx) = live[idx];
+                    if t != tsel {
+                        match z.migrate(tiers[t], tiers[tsel], s) {
+                            Ok(ns) => live[idx] = (tsel, ns, page_idx),
+                            Err(ZswapError::Incompressible) => {}
+                            Err(e) => prop_assert!(false, "migrate: {e}"),
+                        }
+                    }
+                }
+                // Invalidate a random live page.
+                3 if !live.is_empty() => {
+                    let (t, s, _) = live.swap_remove(pick % live.len());
+                    z.invalidate(tiers[t], s).expect("live page");
+                }
+                _ => {}
+            }
+            // Invariant: per-tier page counts match the live set.
+            for (ti, &tid) in tiers.iter().enumerate() {
+                let expected = live.iter().filter(|(t, _, _)| *t == ti).count() as u64;
+                prop_assert_eq!(z.tier(tid).unwrap().stats().pages, expected);
+            }
+        }
+        // Drain: every remaining page still loads byte-identical.
+        for (t, s, page_idx) in live {
+            let got = z.load(tiers[t], s).expect("live page");
+            let class = match page_idx % 3 {
+                0 => PageClass::Text,
+                1 => PageClass::HighlyCompressible,
+                _ => PageClass::Zero,
+            };
+            class.fill(9, page_idx, &mut buf);
+            prop_assert_eq!(got, buf.clone());
+        }
+        prop_assert_eq!(z.total_pages(), 0);
+    }
+}
