@@ -26,7 +26,7 @@ fn machine() -> Arc<Machine> {
     )
 }
 
-/// Migration fast path (same algorithm) vs slow path (different algorithm).
+// Migration fast path (same algorithm) vs slow path (different algorithm).
 
 /// Short measurement windows: these benches validate orderings, not
 /// nanosecond-precision regressions, and the full suite must stay fast.

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use tierscape_core::prelude::*;
-use ts_sim::{Fidelity, SimConfig, TieredSystem};
+use ts_sim::{Fidelity, PlannedMove, SimConfig, TieredSystem};
 use ts_workloads::{Scale, WorkloadId};
 
 /// Short measurement windows: these benches validate orderings, not
@@ -17,10 +17,13 @@ fn quick_config() -> Criterion {
         .sample_size(10)
 }
 
+/// Factory for a fresh policy instance per benchmark iteration.
+type PolicyCtor = Box<dyn Fn() -> Box<dyn PlacementPolicy>>;
+
 fn bench_window(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e_window");
     g.sample_size(10);
-    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn PlacementPolicy>>)> = vec![
+    let policies: Vec<(&str, PolicyCtor)> = vec![
         (
             "waterfall",
             Box::new(|| Box::new(WaterfallModel::new(25.0))),
@@ -82,9 +85,48 @@ fn bench_access_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// Parallel migration engine: one spectrum-wide window plan executed at
+/// 1 / 2 / 4 workers under real codecs. The plan fans out across all five
+/// compressed tiers, so each destination batch lands on its own worker;
+/// on a multi-core host the 4-worker run should finish the same plan in
+/// well under half the serial wall-clock (acceptance: >= 1.5x at 4).
+/// Results are bit-identical at every worker count (see tests/determinism.rs),
+/// so this group measures pure host-side speedup.
+fn bench_parallel_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_migration");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || {
+                        let w = WorkloadId::MemcachedYcsb.build(Scale::BENCH, 7);
+                        let rss = w.rss_bytes();
+                        let system =
+                            TieredSystem::new(SimConfig::spectrum(rss, Fidelity::Real, 7), w)
+                                .expect("valid setup");
+                        let plan: Vec<PlannedMove> = (0..system.total_regions())
+                            .map(|r| PlannedMove {
+                                region: r,
+                                dest: ts_sim::Placement::Compressed(r as usize % 5),
+                            })
+                            .collect();
+                        (system, plan)
+                    },
+                    |(mut system, plan)| black_box(system.execute_plan(&plan, workers)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_window, bench_access_path
+    targets = bench_window, bench_access_path, bench_parallel_migration
 }
 criterion_main!(benches);

@@ -38,9 +38,9 @@ fn characterize(tier_cfg: &TierConfig, class: PageClass, seed: u64) -> (f64, f64
     let t0 = Instant::now();
     for p in 0..PAGES {
         class.fill(seed, p, &mut buf);
-        match tier.store(&buf) {
-            Ok(sp) => stored.push(sp),
-            Err(_) => {} // Rejected pages stay uncompressed (rare here).
+        // Rejected pages stay uncompressed (rare here).
+        if let Ok(sp) = tier.store(&buf) {
+            stored.push(sp);
         }
     }
     let compress_wall_ns = t0.elapsed().as_nanos() as f64 / PAGES as f64;

@@ -12,6 +12,9 @@ use tierscape_core::prelude::*;
 use ts_bench::{header, num, row, s, BenchScale, Setup};
 use ts_workloads::WorkloadId;
 
+/// Factory for a fresh policy instance per setting.
+type PolicyCtor = Box<dyn Fn() -> Box<dyn PlacementPolicy>>;
+
 fn main() {
     let bs = BenchScale::from_env();
     let wl = WorkloadId::MemcachedMemtier1k;
@@ -19,7 +22,7 @@ fn main() {
         "Figure 12: six-tier placement (final window, pages per tier)",
         &["policy", "setting", "dram", "c1", "c2", "c4", "c7", "c12"],
     );
-    let settings: Vec<(&str, Box<dyn Fn() -> Box<dyn PlacementPolicy>>)> = vec![
+    let settings: Vec<(&str, PolicyCtor)> = vec![
         ("WF-C", Box::new(|| Box::new(WaterfallModel::new(25.0)))),
         ("WF-M", Box::new(|| Box::new(WaterfallModel::new(50.0)))),
         ("WF-A", Box::new(|| Box::new(WaterfallModel::new(75.0)))),

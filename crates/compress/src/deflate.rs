@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn all_byte_values() {
         let data: Vec<u8> = (0..=255u8)
-            .flat_map(|b| std::iter::repeat(b).take(16))
+            .flat_map(|b| std::iter::repeat_n(b, 16))
             .collect();
         let (_, out) = round_trip(&Deflate::new(), &data).unwrap();
         assert_eq!(out, data);

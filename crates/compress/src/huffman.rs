@@ -300,7 +300,7 @@ pub fn read_lengths(src: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
         if lens.len() + run > count {
             return Err(CodecError::Corrupt("length run overflows alphabet"));
         }
-        lens.extend(std::iter::repeat(l).take(run));
+        lens.extend(std::iter::repeat_n(l, run));
     }
     Ok(lens)
 }

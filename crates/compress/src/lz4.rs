@@ -393,7 +393,7 @@ mod tests {
     fn long_literal_and_match_extensions() {
         // > 15 literals followed by a > 19-byte match exercises extension bytes.
         let mut data: Vec<u8> = (0..100u8).collect();
-        data.extend(std::iter::repeat(b'z').take(1000));
+        data.extend(std::iter::repeat_n(b'z', 1000));
         let (_, out) = round_trip(&Lz4::new(), &data).unwrap();
         assert_eq!(out, data);
     }

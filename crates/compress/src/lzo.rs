@@ -206,7 +206,7 @@ pub fn decompress_impl(src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
                     .get(pos)
                     .ok_or(CodecError::Corrupt("lzo: rle byte missing"))?;
                 pos += 1;
-                dst.extend(std::iter::repeat(b).take(len));
+                dst.extend(std::iter::repeat_n(b, len));
             } else {
                 if off > dst.len() - start {
                     return Err(CodecError::Corrupt("lzo: bad match offset"));
@@ -281,7 +281,7 @@ mod tests {
     fn mixed_runs_and_text() {
         let mut data = Vec::new();
         for i in 0..50 {
-            data.extend(std::iter::repeat(i as u8).take(40));
+            data.extend(std::iter::repeat_n(i as u8, 40));
             data.extend_from_slice(b"separator text in between runs ");
         }
         for codec in [&LzoRle::new() as &dyn Codec, &Lzo::new() as &dyn Codec] {

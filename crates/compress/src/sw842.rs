@@ -68,11 +68,11 @@ impl Codec for Sw842 {
             let word_hit = word_dict
                 .get(&word)
                 .map(|&p| wi - p)
-                .filter(|&d| d >= 1 && d < (1 << WORD_DIST_BITS));
+                .filter(|&d| (1..(1 << WORD_DIST_BITS)).contains(&d));
             let half_hit = |dict: &HashMap<u32, u32>, v: u32, cur_half: u32| {
                 dict.get(&v)
                     .map(|&p| cur_half - p)
-                    .filter(|&d| d >= 1 && d < (1 << HALF_DIST_BITS))
+                    .filter(|&d| (1..(1 << HALF_DIST_BITS)).contains(&d))
             };
 
             if let Some(d) = word_hit {
@@ -164,7 +164,7 @@ impl Codec for Sw842 {
                             }
                             let idx = cur_half - d;
                             let word = words[idx / 2];
-                            Ok(if idx % 2 == 0 {
+                            Ok(if idx.is_multiple_of(2) {
                                 word as u32
                             } else {
                                 (word >> 32) as u32
@@ -184,7 +184,7 @@ impl Codec for Sw842 {
                                 lo
                             } else {
                                 let word = words[idx / 2];
-                                if idx % 2 == 0 {
+                                if idx.is_multiple_of(2) {
                                     word as u32
                                 } else {
                                     (word >> 32) as u32

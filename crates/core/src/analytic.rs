@@ -17,7 +17,6 @@
 
 use crate::policy::{full_hotness, PlacementPolicy, PlanEntry};
 use crate::remote::SolverService;
-use std::time::Instant;
 use ts_sim::{Placement, TieredSystem};
 use ts_solver::mckp::{MckpItem, MckpProblem};
 use ts_telemetry::HotnessSnapshot;
@@ -101,6 +100,20 @@ impl AnalyticalModel {
         self
     }
 
+    /// Modeled CPU cost of one local greedy MCKP solve over `n_items`
+    /// candidate (region, tier) pairs, in ns.
+    ///
+    /// The greedy solver sorts the incremental-ratio candidates and sweeps
+    /// them once — O(N log N) comparisons at ~25 ns each on a server core.
+    /// Charging a modeled figure instead of a stopwatch reading keeps daemon
+    /// runs bit-reproducible: the same plan costs the same tax on any host,
+    /// under any `migration_workers` setting.
+    fn local_solve_ns(n_items: usize) -> f64 {
+        const NS_PER_CMP: f64 = 25.0;
+        let n = n_items as f64;
+        NS_PER_CMP * n * n.max(2.0).log2()
+    }
+
     /// Build the MCKP instance for the current window.
     fn build_problem(&self, hot: &[f64], system: &TieredSystem) -> (MckpProblem, Vec<Placement>) {
         let placements = system.placements();
@@ -155,13 +168,16 @@ impl PlacementPolicy for AnalyticalModel {
     }
 
     fn plan(&mut self, snapshot: &HotnessSnapshot, system: &TieredSystem) -> Vec<PlanEntry> {
-        let start = Instant::now();
         let hot = full_hotness(snapshot, system);
         let (problem, placements) = self.build_problem(&hot, system);
         let solution = match self.site {
-            SolverSite::Local => problem
-                .solve_greedy()
-                .expect("budget >= TCO_min by construction, so always feasible"),
+            SolverSite::Local => {
+                let n_items: usize = problem.groups.iter().map(Vec::len).sum();
+                self.last_cost_ns = Self::local_solve_ns(n_items);
+                problem
+                    .solve_greedy()
+                    .expect("budget >= TCO_min by construction, so always feasible")
+            }
             SolverSite::Remote => {
                 // Ship the instance to the solver thread (the stand-in for a
                 // remote solver machine); block only for the round trip.
@@ -181,15 +197,13 @@ impl PlacementPolicy for AnalyticalModel {
                 dest: placements[c],
             })
             .collect();
-        if self.site == SolverSite::Local {
-            self.last_cost_ns = start.elapsed().as_nanos() as f64;
-        }
         plan
     }
 
     fn last_plan_cost_ns(&self) -> f64 {
-        // Local: full solver CPU time. Remote: the measured round trip
-        // (channel shipping + waiting; the solver CPU runs elsewhere).
+        // Local: modeled solver CPU time (see local_solve_ns). Remote: the
+        // measured round trip (channel shipping + waiting; the solver CPU
+        // runs elsewhere, so reproducibility only binds the local site).
         self.last_cost_ns
     }
 

@@ -9,7 +9,7 @@
 
 use crate::filter::{FilterState, MigrationFilter};
 use crate::policy::PlacementPolicy;
-use ts_sim::{PerfReport, TcoReport, TieredSystem};
+use ts_sim::{PerfReport, PlannedMove, TcoReport, TieredSystem};
 use ts_telemetry::{AccessBitScanner, DamonRegions, Profiler, TelemetryConfig, TelemetrySource};
 
 /// Which telemetry source feeds the models (see [`ts_telemetry`]).
@@ -47,6 +47,11 @@ pub struct DaemonConfig {
     /// window stays within [1/4x, 4x] of the configured size; the total
     /// access budget (`windows x window_accesses`) is preserved.
     pub adaptive_window: bool,
+    /// Worker threads for the parallel migration engine that executes each
+    /// window plan (1 runs the engine inline on the caller thread). The
+    /// engine's results and accounting are bit-identical for every value —
+    /// this only changes how fast the host executes the plan.
+    pub migration_workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -62,6 +67,9 @@ impl Default for DaemonConfig {
             filter: MigrationFilter::default(),
             profile_only: false,
             adaptive_window: false,
+            migration_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -204,13 +212,16 @@ pub fn run_daemon(
                 rec[idx] += system.region_pages(e.region).count() as u64;
             }
             let filtered = cfg.filter.apply(&plan, system, &mut filter_state);
-            for e in &filtered {
-                let report = system.migrate_region(e.region, e.dest);
-                if report.moved > 0 {
-                    migrations += 1;
-                }
-                migration_cost += report.cost_ns;
-            }
+            let moves: Vec<PlannedMove> = filtered
+                .iter()
+                .map(|e| PlannedMove {
+                    region: e.region,
+                    dest: e.dest,
+                })
+                .collect();
+            let report = system.execute_plan(&moves, cfg.migration_workers);
+            migrations += report.regions_moved;
+            migration_cost += report.cost_ns;
         } else {
             // Profile-only: recommendation equals current placement.
             rec = system.placement_counts();

@@ -198,7 +198,7 @@ mod tests {
     fn pressured_destination_rejected() {
         let mut system = sim_with_dram(1 << 30);
         // Fill the NVMM tier close to the brim.
-        let cap_regions = (system.config().byte_tiers[0].1 / (2 << 20)) as u64;
+        let cap_regions = system.config().byte_tiers[0].1 / (2 << 20);
         for r in 0..system.total_regions().min(cap_regions) {
             let _ = system.migrate_region(r, Placement::ByteTier(0));
         }

@@ -120,7 +120,7 @@ mod tests {
         }
         fn next_access(&mut self) -> Access {
             self.tick += 1;
-            let phase = (self.tick / self.phase_len) as u64;
+            let phase = self.tick / self.phase_len;
             let nphases = 4u64;
             let span = self.pages / nphases;
             let base = (phase % nphases) * span;

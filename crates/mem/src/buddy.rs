@@ -72,7 +72,7 @@ impl BuddyAllocator {
             let mut order = MAX_ORDER;
             loop {
                 let size = 1u64 << order;
-                if frame % size == 0 && frame + size <= nframes {
+                if frame.is_multiple_of(size) && frame + size <= nframes {
                     break;
                 }
                 order -= 1;
@@ -210,8 +210,8 @@ mod tests {
         let f = b.alloc(0).unwrap();
         // Splitting creates one free block at each lower order.
         let per = b.free_blocks_per_order();
-        for o in 0..MAX_ORDER as usize {
-            assert_eq!(per[o], 1, "order {o}");
+        for (o, &n) in per.iter().enumerate().take(MAX_ORDER as usize) {
+            assert_eq!(n, 1, "order {o}");
         }
         b.free(f).unwrap();
         assert_eq!(b.free_blocks_per_order()[MAX_ORDER as usize], 1);

@@ -1,0 +1,252 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports the two shapes this workspace serializes: structs with named
+//! fields and enums whose variants carry no data. The macros are written
+//! against `proc_macro` alone (no syn/quote — the registry is unreachable),
+//! parsing just enough of the item to extract its name and field/variant
+//! list, then emitting impl blocks as formatted source.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the item the derive is attached to.
+struct Item {
+    name: String,
+    /// `Some(fields)` for a named-field struct, `None` for an enum.
+    fields: Option<Vec<String>>,
+    /// Variant names for an enum.
+    variants: Vec<String>,
+}
+
+/// Skip attributes (`#[...]` / doc comments) and visibility tokens, then
+/// expect `struct` or `enum` followed by an identifier and a brace group.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = String::new();
+    let mut name = String::new();
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: swallow the following bracket group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // May be followed by `(crate)` etc.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = s;
+                        match iter.next() {
+                            Some(TokenTree::Ident(n)) => name = n.to_string(),
+                            other => return Err(format!("expected item name, got {other:?}")),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let body = body.ok_or("expected a braced item body (named struct or fieldless enum)")?;
+    if kind == "struct" {
+        Ok(Item {
+            name,
+            fields: Some(parse_named_fields(body)?),
+            variants: Vec::new(),
+        })
+    } else if kind == "enum" {
+        Ok(Item {
+            name,
+            fields: None,
+            variants: parse_unit_variants(body)?,
+        })
+    } else {
+        Err("derive target must be a struct or enum".into())
+    }
+}
+
+/// Field names of `{ attrs? vis? name : Type, ... }`, skipping types by
+/// consuming tokens until a top-level comma.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let mut next = match iter.next() {
+            Some(t) => t,
+            None => break,
+        };
+        loop {
+            match &next {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = iter.next(); // the [...] group
+                    next = match iter.next() {
+                        Some(t) => t,
+                        None => return Ok(fields),
+                    };
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                    next = match iter.next() {
+                        Some(t) => t,
+                        None => return Ok(fields),
+                    };
+                }
+                _ => break,
+            }
+        }
+        let TokenTree::Ident(field) = next else {
+            return Err(format!("expected field name, got {next:?}"));
+        };
+        fields.push(field.to_string());
+        // Expect ':', then skip the type until a comma at angle-depth 0.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field, got {other:?}")),
+        }
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of `{ attrs? Name, attrs? Name, ... }`; rejects variants
+/// with payloads (this shim only derives fieldless enums).
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(v) => {
+                variants.push(v.to_string());
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        let _ = iter.next();
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "enum variants with payloads are not supported by the \
+                             vendored serde derive (at {other:?})"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (Value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item.fields {
+        Some(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        None => {
+            let name = &item.name;
+            let arms: String = item
+                .variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!("::serde::Value::String(String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` (Value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.fields {
+        Some(fields) => {
+            let mut s = String::from(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object\"))?;\nOk(Self {\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).ok_or_else(|| \
+                     ::serde::DeError::new(concat!(\"missing field \", {f:?})))?)?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        None => {
+            let arms: String = item
+                .variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected string\"))?;\n\
+                 match s {{ {arms} other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant {{other}} for {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -48,7 +48,7 @@ pub mod system;
 
 pub use calib::{Calibration, RatioStats};
 pub use histogram::LatencyHistogram;
-pub use system::{MigrationReport, PerfReport, SimTierStats, TcoReport, TieredSystem};
+pub use system::{MigrationReport, PerfReport, PlannedMove, SimTierStats, TcoReport, TieredSystem};
 
 use ts_mem::MediaKind;
 use ts_zswap::{TierConfig, ZswapError};

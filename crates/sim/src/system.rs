@@ -56,7 +56,7 @@ pub struct SimTierStats {
     pub writebacks: u64,
 }
 
-/// Report of one region migration.
+/// Report of one region migration or one whole window plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MigrationReport {
     /// Pages moved to the destination.
@@ -65,6 +65,84 @@ pub struct MigrationReport {
     pub rejected: u64,
     /// Modeled migration cost in nanoseconds (daemon tax).
     pub cost_ns: f64,
+    /// Plan entries (regions) with at least one page moved.
+    /// [`TieredSystem::migrate_region`] reports 0 or 1.
+    pub regions_moved: u64,
+    /// Worker threads the parallel engine was configured with
+    /// (0 for the serial per-region path).
+    pub workers: u32,
+    /// Destination batches the parallel engine executed
+    /// (0 for the serial per-region path).
+    pub batches: u32,
+    /// Modeled worker idle time: sum over batches of (critical-path ns −
+    /// that batch's busy ns). High stall means one destination dominated
+    /// the plan and the others' logical workers sat idle.
+    pub stall_ns: f64,
+}
+
+/// One entry of a window plan: move every page of `region` to `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// Region to move.
+    pub region: u64,
+    /// Destination placement.
+    pub dest: Placement,
+}
+
+/// Parallel-phase work for one page: zswap-only, touches no simulator
+/// state, so workers can run it from `&TieredSystem` borrows.
+enum PageJob {
+    /// Compressed→compressed copy (source invalidation deferred to phase B).
+    CtoC {
+        /// Source compressed-tier index.
+        from: u16,
+        /// Destination compressed-tier index.
+        to: u16,
+        /// Live source handle from the plan-time snapshot.
+        stored: StoredPage,
+    },
+    /// DRAM/byte-tier source compressed into tier `to` (fill + store).
+    Store {
+        /// Page whose content to regenerate and compress.
+        vpage: u64,
+        /// Destination compressed-tier index.
+        to: u16,
+    },
+    /// Compressed source decompressed toward a byte destination
+    /// (read-only copy-out; invalidation deferred to phase B).
+    Fault {
+        /// Source compressed-tier index.
+        from: u16,
+        /// Live source handle from the plan-time snapshot.
+        stored: StoredPage,
+    },
+}
+
+/// Output of one successful phase-A job.
+enum JobOut {
+    /// `CtoC` outcome: new destination handle plus modeled cost.
+    Copied(ts_zswap::MigrationOutcome),
+    /// `Store` outcome: new destination handle.
+    Stored(StoredPage),
+    /// `Fault` done (decompressed bytes are discarded — content is
+    /// regenerable).
+    Faulted,
+}
+
+/// How one page of a plan is executed.
+enum Disposition {
+    /// Already at the destination — nothing to do.
+    Skip,
+    /// Legacy serial `migrate_page` in phase B (swapped or same-filled
+    /// sources, handle-less `Modeled` pages, duplicate plan entries).
+    Serial,
+    /// Apply the result of phase-A job `job` of batch `batch`.
+    Parallel {
+        /// Batch index (one batch per destination placement).
+        batch: usize,
+        /// Job index within the batch.
+        job: usize,
+    },
 }
 
 /// Performance accounting snapshot (Eq. 3–7).
@@ -401,7 +479,7 @@ impl TieredSystem {
     /// Backing pool bytes of compressed tier `i`.
     pub fn tier_pool_bytes(&self, i: usize) -> u64 {
         match &self.zswap {
-            Some(z) => z.tiers()[i].pool_stats().pool_bytes(),
+            Some(z) => z.tiers()[i].read().pool_stats().pool_bytes(),
             None => self.tier_stats[i].pool_bytes_modeled,
         }
     }
@@ -745,11 +823,8 @@ impl TieredSystem {
                         Err(e) => return Err(SimError::Zswap(e)),
                     }
                 } else {
-                    let out_cost = match self.compress_into(vpage, t) {
-                        Ok(c) => c,
-                        Err(e) => return Err(e),
-                    };
-                    out_cost
+                    
+                    self.compress_into(vpage, t)?
                 }
             }
         };
@@ -897,6 +972,341 @@ impl TieredSystem {
                 Err(_) => report.rejected += 1,
             }
         }
+        report.regions_moved = u64::from(report.moved > 0);
+        report
+    }
+
+    /// Execute a whole window plan through the parallel migration engine.
+    ///
+    /// The plan's pages are partitioned into batches by *destination*
+    /// placement and the batches run on a scoped worker pool (`workers`
+    /// threads; 1 runs every batch inline on the caller thread). Phase A is
+    /// zswap-only: each batch's worker compresses/copies/decompresses its
+    /// pages into the destination tier, deferring every source
+    /// invalidation. Phase B then walks the plan serially in plan order,
+    /// merging results **by batch identity, never by completion order**:
+    /// it applies residency/stats bookkeeping, invalidates sources, and
+    /// enforces pool limits.
+    ///
+    /// Because one worker owns a destination tier end to end, sources are
+    /// only read in phase A, and all costs are closed-form in the page
+    /// sizes, the outcome — placements, statistics, and every charged
+    /// nanosecond — is bit-identical for any `workers` value. The charged
+    /// daemon time models one logical worker per batch: the wall-clock
+    /// cost is the *slowest batch's* busy time (plus the serial phase-B
+    /// extras), not the sum over batches.
+    ///
+    /// Pages the engine cannot batch safely (swapped or same-filled
+    /// sources, `Modeled`-fidelity pages without real handles, duplicate
+    /// plan entries) fall back to [`TieredSystem::migrate_page`], threaded
+    /// through phase B at their plan position.
+    pub fn execute_plan(&mut self, moves: &[PlannedMove], workers: usize) -> MigrationReport {
+        let workers = workers.max(1);
+        let mut report = MigrationReport {
+            workers: workers as u32,
+            ..MigrationReport::default()
+        };
+
+        // Phase 0: classify every page of the plan against a snapshot of
+        // the page table. Nothing below mutates simulator state until
+        // phase B, so the snapshot is exact; only phase-B pool-limit
+        // writeback can invalidate it (caught by the stale guard below).
+        // A region listed twice would see the first entry's effects, so
+        // duplicates take the serial path.
+        let mut seen = std::collections::HashSet::new();
+        let mut batch_of: std::collections::HashMap<Placement, usize> =
+            std::collections::HashMap::new();
+        // Batches in first-appearance order of their destination.
+        let mut batches: Vec<(Placement, Vec<PageJob>)> = Vec::new();
+        let mut plan_pages: Vec<(usize, u64, Residency, Disposition)> = Vec::new();
+
+        for (ei, mv) in moves.iter().enumerate() {
+            let fresh = seen.insert(mv.region);
+            for vpage in self.region_pages(mv.region) {
+                let res = self.pages[vpage as usize];
+                if self.page_placement(vpage) == mv.dest {
+                    plan_pages.push((ei, vpage, res, Disposition::Skip));
+                    continue;
+                }
+                let job = if !fresh || self.zswap.is_none() {
+                    None
+                } else {
+                    match (res, mv.dest) {
+                        (
+                            Residency::Compressed {
+                                tier,
+                                stored: Some(s),
+                                ..
+                            },
+                            Placement::Compressed(t),
+                        ) if !s.is_same_filled() => Some(PageJob::CtoC {
+                            from: tier,
+                            to: t as u16,
+                            stored: s,
+                        }),
+                        (Residency::Dram | Residency::Byte(_), Placement::Compressed(t)) => {
+                            Some(PageJob::Store {
+                                vpage,
+                                to: t as u16,
+                            })
+                        }
+                        (
+                            Residency::Compressed {
+                                tier,
+                                stored: Some(s),
+                                comp_len,
+                            },
+                            Placement::Dram | Placement::ByteTier(_),
+                        ) if comp_len > 0 => Some(PageJob::Fault {
+                            from: tier,
+                            stored: s,
+                        }),
+                        // Swapped sources need the single-writer swap
+                        // device; same-filled and handle-less pages are
+                        // pure bookkeeping. All cheap — serial.
+                        _ => None,
+                    }
+                };
+                match job {
+                    Some(j) => {
+                        let b = *batch_of.entry(mv.dest).or_insert_with(|| {
+                            batches.push((mv.dest, Vec::new()));
+                            batches.len() - 1
+                        });
+                        batches[b].1.push(j);
+                        let ji = batches[b].1.len() - 1;
+                        plan_pages.push((ei, vpage, res, Disposition::Parallel { batch: b, job: ji }));
+                    }
+                    None => plan_pages.push((ei, vpage, res, Disposition::Serial)),
+                }
+            }
+        }
+        report.batches = batches.len() as u32;
+
+        // Phase A: run the batches' zswap work on the worker pool. One
+        // worker owns a batch end to end, so every destination tier has a
+        // single writer; source tiers are only read. Results land in a
+        // slot per batch — merged by identity, not completion order.
+        let results: Vec<Vec<Result<JobOut, ZswapError>>> = if batches.is_empty() {
+            Vec::new()
+        } else {
+            let z = self.zswap.as_ref().expect("batched jobs imply Real fidelity");
+            let ids = &self.zswap_ids;
+            let wl: &dyn Workload = self.workload.as_ref();
+            let run_batch = |jobs: &[PageJob]| -> Vec<Result<JobOut, ZswapError>> {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                jobs.iter()
+                    .map(|job| match *job {
+                        PageJob::CtoC { from, to, stored } => z
+                            .migrate_copy(ids[from as usize], ids[to as usize], stored)
+                            .map(JobOut::Copied),
+                        PageJob::Store { vpage, to } => {
+                            wl.fill_page(vpage, &mut buf);
+                            z.store(ids[to as usize], &buf).map(JobOut::Stored)
+                        }
+                        PageJob::Fault { from, stored } => z
+                            .fault_copy(ids[from as usize], stored)
+                            .map(|_| JobOut::Faulted),
+                    })
+                    .collect()
+            };
+            if workers == 1 || batches.len() == 1 {
+                batches.iter().map(|(_, jobs)| run_batch(jobs)).collect()
+            } else {
+                let nworkers = workers.min(batches.len());
+                let batches_ref = &batches;
+                let run = &run_batch;
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..nworkers)
+                        .map(|w| {
+                            scope.spawn(move |_| {
+                                batches_ref
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(i, _)| i % nworkers == w)
+                                    .map(|(i, (_, jobs))| (i, run(jobs)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    let mut merged: Vec<Option<Vec<Result<JobOut, ZswapError>>>> =
+                        (0..batches_ref.len()).map(|_| None).collect();
+                    for h in handles {
+                        for (i, r) in h.join().expect("migration worker panicked") {
+                            merged[i] = Some(r);
+                        }
+                    }
+                    merged
+                        .into_iter()
+                        .map(|r| r.expect("round-robin covers every batch"))
+                        .collect()
+                })
+                .expect("scope propagates panics instead of erring")
+            }
+        };
+
+        // Phase B: apply results serially, in plan order.
+        let mut busy = vec![0.0f64; batches.len()];
+        let mut serial_extra = 0.0f64;
+        let mut tail_ns = 0.0f64;
+        let mut entry_moved = vec![false; moves.len()];
+
+        for (ei, vpage, snap, disp) in plan_pages {
+            let dest = moves[ei].dest;
+            match disp {
+                Disposition::Skip => {}
+                Disposition::Serial => match self.migrate_page(vpage, dest) {
+                    Ok(c) => {
+                        if c > 0.0 {
+                            report.moved += 1;
+                            entry_moved[ei] = true;
+                        }
+                        tail_ns += c;
+                    }
+                    Err(_) => report.rejected += 1,
+                },
+                Disposition::Parallel { batch, job } => {
+                    let stale = self.pages[vpage as usize] != snap;
+                    match (&results[batch][job], stale) {
+                        // An earlier entry's pool-limit writeback evicted
+                        // this page to swap after the snapshot: the copy
+                        // phase-A made is an orphan. Roll it back and take
+                        // the serial path, which handles the swap source.
+                        // (`Faulted` and `Err` jobs left nothing behind.)
+                        (result, true) => {
+                            let orphan = match result {
+                                Ok(JobOut::Copied(m)) => Some(m.stored),
+                                Ok(JobOut::Stored(s)) => Some(*s),
+                                Ok(JobOut::Faulted) | Err(_) => None,
+                            };
+                            if let Some(orphan) = orphan {
+                                let Placement::Compressed(t) = dest else {
+                                    unreachable!("destination copies target compressed tiers")
+                                };
+                                self.zswap
+                                    .as_ref()
+                                    .expect("real fidelity")
+                                    .invalidate(self.zswap_ids[t], orphan)
+                                    .expect("orphaned copy is live");
+                            }
+                            match self.migrate_page(vpage, dest) {
+                                Ok(c) => {
+                                    if c > 0.0 {
+                                        report.moved += 1;
+                                        entry_moved[ei] = true;
+                                    }
+                                    tail_ns += c;
+                                }
+                                Err(_) => report.rejected += 1,
+                            }
+                        }
+                        (Ok(JobOut::Copied(out)), false) => {
+                            let out = *out;
+                            let Residency::Compressed {
+                                tier: from,
+                                comp_len,
+                                stored: Some(s),
+                            } = snap
+                            else {
+                                unreachable!("CtoC jobs come from stored compressed pages")
+                            };
+                            let Placement::Compressed(t) = dest else {
+                                unreachable!("CtoC jobs target compressed tiers")
+                            };
+                            let from = from as usize;
+                            let z = self.zswap.as_ref().expect("real fidelity");
+                            z.finish_migration_out(self.zswap_ids[from], s)
+                                .expect("source copy is live until phase B");
+                            let fs = &mut self.tier_stats[from];
+                            fs.pages -= 1;
+                            fs.comp_bytes -= comp_len as u64;
+                            let ts = &mut self.tier_stats[t];
+                            ts.pages += 1;
+                            ts.comp_bytes += out.stored.compressed_len as u64;
+                            ts.stores += 1;
+                            self.pages[vpage as usize] = Residency::Compressed {
+                                tier: t as u16,
+                                comp_len: out.stored.compressed_len as u32,
+                                stored: Some(out.stored),
+                            };
+                            self.wb_order[t].push_back(vpage);
+                            busy[batch] += out.cost_ns;
+                            serial_extra += self.enforce_pool_limit(t);
+                            report.moved += 1;
+                            entry_moved[ei] = true;
+                        }
+                        (Ok(JobOut::Stored(new)), false) => {
+                            let new = *new;
+                            let Placement::Compressed(t) = dest else {
+                                unreachable!("Store jobs target compressed tiers")
+                            };
+                            let out_cost = self.remove_from_current(vpage);
+                            let comp_len = new.compressed_len as u32;
+                            let st = &mut self.tier_stats[t];
+                            st.pages += 1;
+                            st.comp_bytes += comp_len as u64;
+                            st.stores += 1;
+                            self.pages[vpage as usize] = Residency::Compressed {
+                                tier: t as u16,
+                                comp_len,
+                                stored: Some(new),
+                            };
+                            self.wb_order[t].push_back(vpage);
+                            let tcfg = &self.cfg.compressed_tiers[t];
+                            busy[batch] += out_cost
+                                + tcfg.compress_latency_ns()
+                                + tcfg.media.default_spec().stream_ns(comp_len as u64);
+                            serial_extra += self.enforce_pool_limit(t);
+                            report.moved += 1;
+                            entry_moved[ei] = true;
+                        }
+                        (Ok(JobOut::Faulted), false) => {
+                            let Residency::Compressed {
+                                tier: from,
+                                comp_len,
+                                stored: Some(s),
+                            } = snap
+                            else {
+                                unreachable!("Fault jobs come from stored compressed pages")
+                            };
+                            let from = from as usize;
+                            let z = self.zswap.as_ref().expect("real fidelity");
+                            z.invalidate(self.zswap_ids[from], s)
+                                .expect("source page is live until phase B");
+                            let st = &mut self.tier_stats[from];
+                            st.pages -= 1;
+                            st.comp_bytes -= comp_len as u64;
+                            let tcfg = &self.cfg.compressed_tiers[from];
+                            let out_cost = tcfg.decompress_latency_ns()
+                                + tcfg.media.default_spec().stream_ns(comp_len as u64);
+                            let in_cost = self.place_byte(vpage, dest);
+                            busy[batch] += out_cost + in_cost;
+                            report.moved += 1;
+                            entry_moved[ei] = true;
+                        }
+                        (Err(ZswapError::Incompressible), false) => {
+                            if let Placement::Compressed(t) = dest {
+                                self.tier_stats[t].rejections += 1;
+                            }
+                            report.rejected += 1;
+                        }
+                        (Err(_), false) => report.rejected += 1,
+                    }
+                }
+            }
+        }
+
+        // Deterministic reduction: the engine models one logical worker
+        // per destination batch, so the charged wall-clock is the slowest
+        // batch's busy time — invariant in the configured `workers`, which
+        // only changes how fast the *host* executes phase A.
+        let wall = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        report.stall_ns = busy.iter().map(|&b| wall - b).sum();
+        let engine_ns = wall + serial_extra;
+        self.daemon_ns += engine_ns;
+        self.advance_tco(engine_ns);
+        report.cost_ns = engine_ns + tail_ns;
+        report.regions_moved = entry_moved.iter().filter(|&&m| m).count() as u64;
         report
     }
 

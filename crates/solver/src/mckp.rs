@@ -256,14 +256,14 @@ impl MckpProblem {
             let mut par = vec![u32::MAX; budget_units + 1];
             let new_max = budget_units
                 .min(reachable_max + g.iter().map(|i| quant(i.tco_cost)).max().unwrap_or(0));
-            for b in 0..=reachable_max {
-                if dp[b] == INF {
+            for (b, &cur) in dp.iter().enumerate().take(reachable_max + 1) {
+                if cur == INF {
                     continue;
                 }
                 for (ii, item) in g.iter().enumerate() {
                     let nb = b + quant(item.tco_cost);
                     if nb <= budget_units {
-                        let np = dp[b] + item.perf_cost;
+                        let np = cur + item.perf_cost;
                         if np < ndp[nb] {
                             ndp[nb] = np;
                             par[nb] = ii as u32;

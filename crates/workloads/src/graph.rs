@@ -299,9 +299,8 @@ impl Workload for GraphWorkload {
         if addr < self.layout.neighbors_base {
             // Monotone offsets: small deltas, highly compressible.
             PageClass::HighlyCompressible
-        } else if addr < self.layout.state_base {
-            PageClass::Binary
         } else {
+            // Neighbor lists and per-vertex state are both binary arrays.
             PageClass::Binary
         }
     }

@@ -44,7 +44,10 @@ pub struct Access {
 }
 
 /// A workload: an address space with content plus an access stream.
-pub trait Workload: Send {
+///
+/// `Sync` is required so the parallel migration engine's workers can read
+/// page contents (`fill_page`) from a shared `&dyn Workload` concurrently.
+pub trait Workload: Send + Sync {
     /// Short identifier (e.g. "memcached-ycsb").
     fn name(&self) -> &str;
 

@@ -366,7 +366,7 @@ mod tests {
         for round in 0..2000u32 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let r = (x >> 33) as usize;
-            if live.len() > 300 || (!live.is_empty() && r % 3 == 0) {
+            if live.len() > 300 || (!live.is_empty() && r.is_multiple_of(3)) {
                 let idx = r % live.len();
                 let (h, v, n) = live.swap_remove(idx);
                 let mut out = Vec::new();

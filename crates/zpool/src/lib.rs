@@ -195,7 +195,10 @@ impl PoolStats {
 }
 
 /// A compressed-object pool.
-pub trait ZPool: Send {
+///
+/// `Sync` lets a pool sit behind its tier's `RwLock` shard and be reached
+/// from the parallel migration engine's worker threads.
+pub trait ZPool: Send + Sync {
     /// Which pool manager this is.
     fn kind(&self) -> PoolKind;
 

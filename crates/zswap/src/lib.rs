@@ -51,6 +51,7 @@ pub use config::{
 pub use tier::{CompressedTier, StoredPage, TierId, TierStats};
 pub use writeback::{SwapDevice, SwapSlot, WritebackEvent, WritebackQueue};
 
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
 use ts_compress::CodecError;
 use ts_mem::{Machine, MediaKind};
@@ -103,9 +104,16 @@ pub struct MigrationOutcome {
 }
 
 /// The multi-tier compressed memory subsystem.
+///
+/// Each tier sits behind its own [`RwLock`] shard, so stores, loads and
+/// migrations touching *different* tiers proceed concurrently from `&self`
+/// — this is what lets the parallel migration engine run one worker per
+/// destination tier. Operations needing two tiers (migration) always take
+/// the locks in ascending tier-id order, so concurrent cross-tier
+/// migrations cannot deadlock.
 pub struct ZswapSubsystem {
     machine: Arc<Machine>,
-    tiers: Vec<CompressedTier>,
+    tiers: Vec<RwLock<CompressedTier>>,
 }
 
 impl ZswapSubsystem {
@@ -125,29 +133,41 @@ impl ZswapSubsystem {
     pub fn create_tier(&mut self, config: TierConfig) -> ZswapResult<TierId> {
         let id = TierId(self.tiers.len() as u32);
         let tier = CompressedTier::new(id, config, self.machine.clone())?;
-        self.tiers.push(tier);
+        self.tiers.push(RwLock::new(tier));
         Ok(id)
     }
 
-    /// All active tiers.
-    pub fn tiers(&self) -> &[CompressedTier] {
+    /// All active tier shards (lock a shard to inspect its tier).
+    pub fn tiers(&self) -> &[RwLock<CompressedTier>] {
         &self.tiers
     }
 
-    /// Tier by id.
+    /// Number of active tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Read access to a tier by id.
     ///
     /// # Errors
     ///
     /// [`ZswapError::NoSuchTier`] if out of range.
-    pub fn tier(&self, id: TierId) -> ZswapResult<&CompressedTier> {
+    pub fn tier(&self, id: TierId) -> ZswapResult<RwLockReadGuard<'_, CompressedTier>> {
         self.tiers
             .get(id.0 as usize)
+            .map(RwLock::read)
             .ok_or(ZswapError::NoSuchTier(id))
     }
 
-    fn tier_mut(&mut self, id: TierId) -> ZswapResult<&mut CompressedTier> {
+    /// Write access to a tier by id (one shard; does not block other tiers).
+    ///
+    /// # Errors
+    ///
+    /// [`ZswapError::NoSuchTier`] if out of range.
+    pub fn tier_write(&self, id: TierId) -> ZswapResult<RwLockWriteGuard<'_, CompressedTier>> {
         self.tiers
-            .get_mut(id.0 as usize)
+            .get(id.0 as usize)
+            .map(RwLock::write)
             .ok_or(ZswapError::NoSuchTier(id))
     }
 
@@ -156,8 +176,8 @@ impl ZswapSubsystem {
     /// # Errors
     ///
     /// See [`CompressedTier::store`].
-    pub fn store(&mut self, id: TierId, page: &[u8]) -> ZswapResult<StoredPage> {
-        self.tier_mut(id)?.store(page)
+    pub fn store(&self, id: TierId, page: &[u8]) -> ZswapResult<StoredPage> {
+        self.tier_write(id)?.store(page)
     }
 
     /// Fault a page out of tier `id` (decompress + invalidate).
@@ -165,8 +185,8 @@ impl ZswapSubsystem {
     /// # Errors
     ///
     /// See [`CompressedTier::load`].
-    pub fn load(&mut self, id: TierId, stored: StoredPage) -> ZswapResult<Vec<u8>> {
-        self.tier_mut(id)?.load(stored)
+    pub fn load(&self, id: TierId, stored: StoredPage) -> ZswapResult<Vec<u8>> {
+        self.tier_write(id)?.load(stored)
     }
 
     /// Invalidate a stored page without decompressing.
@@ -174,8 +194,8 @@ impl ZswapSubsystem {
     /// # Errors
     ///
     /// See [`CompressedTier::invalidate`].
-    pub fn invalidate(&mut self, id: TierId, stored: StoredPage) -> ZswapResult<()> {
-        self.tier_mut(id)?.invalidate(stored)
+    pub fn invalidate(&self, id: TierId, stored: StoredPage) -> ZswapResult<()> {
+        self.tier_write(id)?.invalidate(stored)
     }
 
     /// Migrate a page between two compressed tiers.
@@ -192,13 +212,30 @@ impl ZswapSubsystem {
     /// occur on the fast path but can on the recompress path (the caller
     /// should then place the page back uncompressed). On error the source
     /// page is left intact.
-    pub fn migrate(
-        &mut self,
+    pub fn migrate(&self, from: TierId, to: TierId, stored: StoredPage) -> ZswapResult<StoredPage> {
+        Ok(self.migrate_with_cost(from, to, stored)?.stored)
+    }
+
+    /// Lock `from` and `to` for writing, always acquiring in ascending
+    /// tier-id order so concurrent migrations never deadlock.
+    fn lock_pair(
+        &self,
         from: TierId,
         to: TierId,
-        stored: StoredPage,
-    ) -> ZswapResult<StoredPage> {
-        Ok(self.migrate_with_cost(from, to, stored)?.stored)
+    ) -> ZswapResult<(
+        RwLockWriteGuard<'_, CompressedTier>,
+        RwLockWriteGuard<'_, CompressedTier>,
+    )> {
+        debug_assert_ne!(from, to);
+        if from.0 < to.0 {
+            let f = self.tier_write(from)?;
+            let t = self.tier_write(to)?;
+            Ok((f, t))
+        } else {
+            let t = self.tier_write(to)?;
+            let f = self.tier_write(from)?;
+            Ok((f, t))
+        }
     }
 
     /// Like [`ZswapSubsystem::migrate`] but also reports path and cost.
@@ -207,7 +244,7 @@ impl ZswapSubsystem {
     ///
     /// See [`ZswapSubsystem::migrate`].
     pub fn migrate_with_cost(
-        &mut self,
+        &self,
         from: TierId,
         to: TierId,
         stored: StoredPage,
@@ -219,44 +256,51 @@ impl ZswapSubsystem {
                 cost_ns: 0.0,
             });
         }
+        let (mut f, mut t) = self.lock_pair(from, to)?;
         // Same-filled markers migrate for free: pure bookkeeping.
         if stored.is_same_filled() {
-            self.tier_mut(from)?.release_same_filled();
-            let new = self.tier_mut(to)?.accept_same_filled(stored);
+            f.release_same_filled();
+            let new = t.accept_same_filled(stored);
             return Ok(MigrationOutcome {
                 stored: new,
                 fast_path: true,
                 cost_ns: 100.0,
             });
         }
-        let same_algo = {
-            let f = self.tier(from)?;
-            let t = self.tier(to)?;
-            f.config().algorithm == t.config().algorithm
-        };
-        if same_algo {
+        let out = Self::copy_between(&f, &mut t, stored)?;
+        Self::release_source(&mut f, stored)?;
+        Ok(out)
+    }
+
+    /// Copy `stored` from tier `f` into tier `t` without touching the
+    /// source copy. Shared by [`ZswapSubsystem::migrate_with_cost`] (which
+    /// then invalidates the source immediately) and
+    /// [`ZswapSubsystem::migrate_copy`] (which defers invalidation).
+    ///
+    /// The reported cost covers the *whole* migration — both the copy-in
+    /// and the eventual source-side release — so the deferred
+    /// [`ZswapSubsystem::finish_migration_out`] charges nothing extra.
+    fn copy_between(
+        f: &CompressedTier,
+        t: &mut CompressedTier,
+        stored: StoredPage,
+    ) -> ZswapResult<MigrationOutcome> {
+        if f.config().algorithm == t.config().algorithm {
             // Fast path: move compressed bytes directly.
-            let compressed = self.tier(from)?.peek_compressed(stored)?;
-            let new = self
-                .tier_mut(to)?
-                .store_precompressed(&compressed, stored.original_len)?;
-            self.tier_mut(from)?.invalidate(stored)?;
-            self.tier_mut(from)?.note_migration_out();
-            let cost_ns = {
-                let f = self.tier(from)?;
-                let t = self.tier(to)?;
-                // Stream out + stream in + pool bookkeeping on both sides.
-                f.config()
+            let compressed = f.peek_compressed(stored)?;
+            let new = t.store_precompressed(&compressed, stored.original_len)?;
+            // Stream out + stream in + pool bookkeeping on both sides.
+            let cost_ns = f
+                .config()
+                .media
+                .default_spec()
+                .stream_ns(compressed.len() as u64)
+                + t.config()
                     .media
                     .default_spec()
                     .stream_ns(compressed.len() as u64)
-                    + t.config()
-                        .media
-                        .default_spec()
-                        .stream_ns(compressed.len() as u64)
-                    + f.config().pool.mgmt_overhead_ns()
-                    + t.config().pool.mgmt_overhead_ns()
-            };
+                + f.config().pool.mgmt_overhead_ns()
+                + t.config().pool.mgmt_overhead_ns();
             Ok(MigrationOutcome {
                 stored: new,
                 fast_path: true,
@@ -264,28 +308,17 @@ impl ZswapSubsystem {
             })
         } else {
             // Naive path: decompress then recompress (paper's default).
-            let page = self
-                .tier(from)?
-                .peek_compressed(stored)
-                .and_then(|compressed| {
-                    let mut out = Vec::with_capacity(stored.original_len);
-                    self.tier(from)?
-                        .config()
-                        .algorithm
-                        .codec()
-                        .decompress(&compressed, &mut out)
-                        .map_err(ZswapError::Codec)?;
-                    Ok(out)
-                })?;
-            let new = self.tier_mut(to)?.store(&page)?;
-            self.tier_mut(from)?.invalidate(stored)?;
-            self.tier_mut(from)?.note_migration_out();
-            self.tier_mut(to)?.bump_migrations_in();
-            let cost_ns = {
-                let f = self.tier(from)?;
-                let t = self.tier(to)?;
-                f.fault_latency_ns(stored.compressed_len) + t.store_latency_ns(new.compressed_len)
-            };
+            let compressed = f.peek_compressed(stored)?;
+            let mut page = Vec::with_capacity(stored.original_len);
+            f.config()
+                .algorithm
+                .codec()
+                .decompress(&compressed, &mut page)
+                .map_err(ZswapError::Codec)?;
+            let new = t.store(&page)?;
+            t.bump_migrations_in();
+            let cost_ns =
+                f.fault_latency_ns(stored.compressed_len) + t.store_latency_ns(new.compressed_len);
             Ok(MigrationOutcome {
                 stored: new,
                 fast_path: false,
@@ -294,14 +327,102 @@ impl ZswapSubsystem {
         }
     }
 
+    /// Drop the source copy after a successful migration copy.
+    fn release_source(f: &mut CompressedTier, stored: StoredPage) -> ZswapResult<()> {
+        f.invalidate(stored)?;
+        f.note_migration_out();
+        Ok(())
+    }
+
+    /// Copy phase of a deferred two-phase migration: store the page into
+    /// `to` while leaving `from`'s copy intact. The caller must later call
+    /// [`ZswapSubsystem::finish_migration_out`] (or
+    /// [`ZswapSubsystem::invalidate`] on rollback) exactly once for the
+    /// source copy.
+    ///
+    /// Takes only a *read* lock on the source tier, so parallel migration
+    /// workers whose batches pull from the same source tier can copy
+    /// concurrently; the destination tier is write-locked. Locks are
+    /// acquired in ascending tier-id order, so concurrent cross-tier
+    /// copies cannot deadlock against each other or against
+    /// [`ZswapSubsystem::migrate`].
+    ///
+    /// Same-filled markers are not supported here (they are pure
+    /// bookkeeping with no copy phase); route them through
+    /// [`ZswapSubsystem::migrate_with_cost`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ZswapSubsystem::migrate`].
+    pub fn migrate_copy(
+        &self,
+        from: TierId,
+        to: TierId,
+        stored: StoredPage,
+    ) -> ZswapResult<MigrationOutcome> {
+        debug_assert_ne!(from, to);
+        debug_assert!(
+            !stored.is_same_filled(),
+            "same-filled pages migrate via migrate_with_cost"
+        );
+        // Mixed read/write acquisition, still in ascending tier-id order.
+        let (fg, mut tg);
+        if from.0 < to.0 {
+            fg = self.tier(from)?;
+            tg = self.tier_write(to)?;
+        } else {
+            tg = self.tier_write(to)?;
+            fg = self.tier(from)?;
+        }
+        Self::copy_between(&fg, &mut tg, stored)
+    }
+
+    /// Completion phase of a deferred two-phase migration: invalidate the
+    /// source copy left behind by [`ZswapSubsystem::migrate_copy`] and
+    /// record the migration-out in the source tier's stats. Charges no
+    /// additional cost — [`ZswapSubsystem::migrate_copy`] already accounted
+    /// for the full migration.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressedTier::invalidate`].
+    pub fn finish_migration_out(&self, from: TierId, stored: StoredPage) -> ZswapResult<()> {
+        let mut f = self.tier_write(from)?;
+        Self::release_source(&mut f, stored)
+    }
+
+    /// Decompress a stored page *without* invalidating it — the read-only
+    /// copy-out used by the parallel engine when faulting a compressed page
+    /// toward DRAM or a byte tier (the source entry is invalidated later,
+    /// serially). Unlike [`ZswapSubsystem::load`], this takes only a read
+    /// lock and does not touch fault statistics or the pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressedTier::load`].
+    pub fn fault_copy(&self, id: TierId, stored: StoredPage) -> ZswapResult<Vec<u8>> {
+        let t = self.tier(id)?;
+        if let Some(byte) = stored.same_filled {
+            return Ok(vec![byte; stored.original_len]);
+        }
+        let compressed = t.peek_compressed(stored)?;
+        let mut page = Vec::with_capacity(stored.original_len);
+        t.config()
+            .algorithm
+            .codec()
+            .decompress(&compressed, &mut page)
+            .map_err(ZswapError::Codec)?;
+        Ok(page)
+    }
+
     /// Sum of TCO attributable to all tiers.
     pub fn total_tco_cost(&self) -> f64 {
-        self.tiers.iter().map(|t| t.tco_cost()).sum()
+        self.tiers.iter().map(|t| t.read().tco_cost()).sum()
     }
 
     /// Total pages stored across all tiers.
     pub fn total_pages(&self) -> u64 {
-        self.tiers.iter().map(|t| t.stats().pages).sum()
+        self.tiers.iter().map(|t| t.read().stats().pages).sum()
     }
 
     /// The machine this subsystem runs on.
@@ -312,9 +433,12 @@ impl ZswapSubsystem {
 
 impl std::fmt::Debug for ZswapSubsystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ZswapSubsystem")
-            .field("tiers", &self.tiers)
-            .finish()
+        let tiers: Vec<_> = self.tiers.iter().map(|t| t.read()).collect();
+        let mut dbg = f.debug_struct("ZswapSubsystem");
+        for (i, t) in tiers.iter().enumerate() {
+            dbg.field(&format!("tier{i}"), &**t);
+        }
+        dbg.finish()
     }
 }
 
@@ -524,7 +648,7 @@ mod tests {
 
     #[test]
     fn unknown_tier_errors() {
-        let mut z = ZswapSubsystem::new(machine());
+        let z = ZswapSubsystem::new(machine());
         let bogus = TierId(9);
         assert!(matches!(
             z.store(bogus, &page(0)),
@@ -555,9 +679,11 @@ mod same_filled_tests {
         let s = z.store(id, &zero).unwrap();
         assert!(s.is_same_filled());
         assert_eq!(s.compressed_len, 0);
-        let t = z.tier(id).unwrap();
-        assert_eq!(t.stats().same_filled, 1);
-        assert_eq!(t.pool_stats().pool_pages, 0, "no pool page for a marker");
+        {
+            let t = z.tier(id).unwrap();
+            assert_eq!(t.stats().same_filled, 1);
+            assert_eq!(t.pool_stats().pool_pages, 0, "no pool page for a marker");
+        }
         // Fault path reconstructs the exact page.
         assert_eq!(z.load(id, s).unwrap(), zero);
         assert_eq!(
@@ -607,6 +733,5 @@ mod same_filled_tests {
         let t = z.tier(id).unwrap();
         assert!(t.fault_latency_ns(0) < 1000.0);
         assert!(t.fault_latency_ns(2000) > 5000.0);
-        let _ = &mut z;
     }
 }

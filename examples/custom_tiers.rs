@@ -100,7 +100,8 @@ fn main() {
 
     // Per-tier accounting.
     println!("\ntier    pages  comp_MB  pool_MB  eff_ratio  tco($)");
-    for t in zswap.tiers() {
+    for shard in zswap.tiers() {
+        let t = shard.read();
         let st = t.stats();
         let ps = t.pool_stats();
         println!(

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: the full workspace test suite plus a warnings-as-errors
+# lint pass. Everything runs against the vendored in-repo dependency shims
+# (crates/shims/), so no network access is needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo test (offline) =="
+cargo test --workspace --offline
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

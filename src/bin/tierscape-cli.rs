@@ -22,6 +22,8 @@ fn usage() -> ! {
          \x20                   [--alpha A] [--threshold PCT] [--setup standard|spectrum]\n\
          \x20                   [--windows N] [--accesses N] [--scale-div D] [--seed S]\n\
          \x20                   [--content-aware] [--prefetch] [--real]\n\
+         \x20                   [--migration-workers N]  (0 = all host cores; results\n\
+         \x20                    are bit-identical for every worker count)\n\
          \x20 tierscape-cli advise [--workload NAME] [--tiers K]\n\
          \x20 tierscape-cli characterize\n"
     );
@@ -126,11 +128,15 @@ fn cmd_run(args: &Args) {
         base
     };
 
-    let dcfg = DaemonConfig {
+    let workers: usize = args.parse("--migration-workers", 0);
+    let mut dcfg = DaemonConfig {
         windows,
         window_accesses: accesses,
         ..DaemonConfig::default()
     };
+    if workers > 0 {
+        dcfg.migration_workers = workers;
+    }
     let report = run_daemon(&mut system, policy.as_mut(), &dcfg);
 
     println!(

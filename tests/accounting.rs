@@ -1,0 +1,109 @@
+//! Regression tests pinning the daemon's cost accounting: the nanoseconds
+//! charged per window (profiling + solver + migration engine) must sum to
+//! the totals in [`RunReport`]. The parallel engine charges each window's
+//! plan exactly once (wall-clock critical path + serial tail), so any
+//! double-charging or dropped charge shows up here.
+
+use tierscape::core::prelude::*;
+use tierscape::sim::{Fidelity, SimConfig, TieredSystem};
+use tierscape::workloads::{Scale, WorkloadId};
+
+fn system(seed: u64) -> TieredSystem {
+    let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, seed);
+    let rss = w.rss_bytes();
+    TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, seed), w)
+        .expect("standard mix is valid")
+}
+
+fn assert_close(actual: f64, expected: f64, label: &str) {
+    let tol = 1e-6 * expected.abs().max(1.0);
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{label}: {actual} vs expected {expected}"
+    );
+}
+
+/// For a policy whose solver runs locally (on-host), daemon_ns must equal
+/// profiling time plus the per-window solver and migration charges.
+fn assert_charges_sum(mk_policy: &dyn Fn() -> Box<dyn PlacementPolicy>, workers: usize) {
+    let mut sys = system(11);
+    let mut policy = mk_policy();
+    let cfg = DaemonConfig {
+        windows: 4,
+        window_accesses: 25_000,
+        migration_workers: workers,
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut sys, policy.as_mut(), &cfg);
+
+    let solver: f64 = report.windows.iter().map(|w| w.solver_cost_ns).sum();
+    let migration: f64 = report.windows.iter().map(|w| w.migration_cost_ns).sum();
+    let expected = report.profiling_ns + solver + migration;
+
+    assert!(report.profiling_ns > 0.0, "profiling must be charged");
+    assert!(migration > 0.0, "run must migrate for the test to bind");
+    assert_close(
+        report.daemon_ns,
+        expected,
+        &format!("{} workers={workers}: daemon_ns", report.policy),
+    );
+    assert_close(
+        sys.daemon_ns(),
+        report.daemon_ns,
+        "system daemon_ns mirrors report",
+    );
+}
+
+#[test]
+fn daemon_ns_is_sum_of_window_charges_waterfall() {
+    for workers in [1, 4] {
+        assert_charges_sum(&|| Box::new(WaterfallModel::new(25.0)), workers);
+    }
+}
+
+#[test]
+fn daemon_ns_is_sum_of_window_charges_analytical() {
+    for workers in [1, 4] {
+        assert_charges_sum(&|| Box::new(AnalyticalModel::am_tco()), workers);
+    }
+}
+
+#[test]
+fn migration_cost_matches_engine_report_components() {
+    // Drive one plan by hand: the daemon's per-window migration_cost_ns is
+    // exactly what execute_plan reports, and that report must be internally
+    // consistent (stall is only meaningful when batches exist, cost covers
+    // every move).
+    use tierscape::sim::{Placement, PlannedMove};
+
+    let mut sys = system(13);
+    let before = sys.daemon_ns();
+    let plan: Vec<PlannedMove> = (0..6)
+        .map(|r| PlannedMove {
+            region: r,
+            dest: if r % 2 == 0 {
+                Placement::Compressed(0)
+            } else {
+                Placement::Compressed(1)
+            },
+        })
+        .collect();
+    let rep = sys.execute_plan(&plan, 2);
+
+    assert!(rep.moved > 0, "plan must move pages");
+    assert!(rep.cost_ns > 0.0, "moving pages must cost time");
+    assert!(rep.stall_ns >= 0.0, "stall is a non-negative idle sum");
+    assert!(
+        rep.regions_moved as usize <= plan.len(),
+        "regions_moved bounded by plan entries"
+    );
+    // The engine charges the daemon its critical path + serial tail; the
+    // charge can never exceed the report's total cost and must be >0.
+    let charged = sys.daemon_ns() - before;
+    assert!(charged > 0.0, "engine must charge the daemon");
+    assert!(
+        charged <= rep.cost_ns + 1e-9 * rep.cost_ns,
+        "daemon charge {charged} exceeds reported cost {}",
+        rep.cost_ns
+    );
+}

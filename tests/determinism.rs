@@ -1,0 +1,237 @@
+//! The parallel migration engine's determinism guarantee: with a fixed
+//! seed, a daemon run produces a bit-identical [`RunReport`] for *any*
+//! `migration_workers` setting. The engine merges phase-A results by batch
+//! identity (never completion order) and charges closed-form costs, so the
+//! worker count may only change how fast the host executes a window plan —
+//! never what the plan does to the system.
+
+use tierscape::core::prelude::*;
+use tierscape::sim::{Fidelity, SimConfig, TieredSystem};
+use tierscape::workloads::{Scale, WorkloadId};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn standard_system(wl: WorkloadId, fidelity: Fidelity, seed: u64) -> TieredSystem {
+    let w = wl.build(Scale::TEST, seed);
+    let rss = w.rss_bytes();
+    TieredSystem::new(SimConfig::standard_mix(rss, fidelity, seed), w)
+        .expect("standard mix is valid")
+}
+
+/// Assert two runs are bit-identical: every per-window record and every
+/// report-level float, compared by bit pattern (no tolerance).
+fn assert_identical(a: &RunReport, b: &RunReport, label: &str) {
+    assert_eq!(a.policy, b.policy, "{label}: policy name");
+    assert_eq!(a.windows.len(), b.windows.len(), "{label}: window count");
+    for (wa, wb) in a.windows.iter().zip(&b.windows) {
+        let w = wa.window;
+        assert_eq!(wa.recommended, wb.recommended, "{label} w{w}: recommended");
+        assert_eq!(wa.actual, wb.actual, "{label} w{w}: actual placements");
+        assert_eq!(wa.tier_faults, wb.tier_faults, "{label} w{w}: tier faults");
+        assert_eq!(wa.migrations, wb.migrations, "{label} w{w}: migrations");
+        assert_eq!(
+            wa.tco_now.to_bits(),
+            wb.tco_now.to_bits(),
+            "{label} w{w}: tco_now {} vs {}",
+            wa.tco_now,
+            wb.tco_now
+        );
+        assert_eq!(
+            wa.migration_cost_ns.to_bits(),
+            wb.migration_cost_ns.to_bits(),
+            "{label} w{w}: migration cost {} vs {}",
+            wa.migration_cost_ns,
+            wb.migration_cost_ns
+        );
+        assert_eq!(
+            wa.solver_cost_ns.to_bits(),
+            wb.solver_cost_ns.to_bits(),
+            "{label} w{w}: solver cost"
+        );
+        assert_eq!(
+            wa.hotness_total.to_bits(),
+            wb.hotness_total.to_bits(),
+            "{label} w{w}: hotness"
+        );
+    }
+    assert_eq!(a.perf.accesses, b.perf.accesses, "{label}: accesses");
+    assert_eq!(
+        a.perf.app_time_ns.to_bits(),
+        b.perf.app_time_ns.to_bits(),
+        "{label}: app time {} vs {}",
+        a.perf.app_time_ns,
+        b.perf.app_time_ns
+    );
+    assert_eq!(
+        a.perf.slowdown.to_bits(),
+        b.perf.slowdown.to_bits(),
+        "{label}: slowdown"
+    );
+    assert_eq!(
+        a.perf.p95_ns.to_bits(),
+        b.perf.p95_ns.to_bits(),
+        "{label}: p95"
+    );
+    assert_eq!(
+        a.tco.tco_avg.to_bits(),
+        b.tco.tco_avg.to_bits(),
+        "{label}: tco_avg"
+    );
+    assert_eq!(
+        a.tco.savings.to_bits(),
+        b.tco.savings.to_bits(),
+        "{label}: tco savings {} vs {}",
+        a.tco.savings,
+        b.tco.savings
+    );
+    assert_eq!(
+        a.daemon_ns.to_bits(),
+        b.daemon_ns.to_bits(),
+        "{label}: daemon_ns {} vs {}",
+        a.daemon_ns,
+        b.daemon_ns
+    );
+    assert_eq!(
+        a.profiling_ns.to_bits(),
+        b.profiling_ns.to_bits(),
+        "{label}: profiling_ns"
+    );
+}
+
+fn run_with_workers(
+    wl: WorkloadId,
+    fidelity: Fidelity,
+    mk_policy: &dyn Fn() -> Box<dyn PlacementPolicy>,
+    workers: usize,
+    window_accesses: u64,
+    seed: u64,
+) -> RunReport {
+    let mut system = standard_system(wl, fidelity, seed);
+    let mut policy = mk_policy();
+    let cfg = DaemonConfig {
+        windows: 3,
+        window_accesses,
+        migration_workers: workers,
+        ..DaemonConfig::default()
+    };
+    run_daemon(&mut system, policy.as_mut(), &cfg)
+}
+
+fn assert_workers_invariant(
+    fidelity: Fidelity,
+    mk_policy: &dyn Fn() -> Box<dyn PlacementPolicy>,
+    window_accesses: u64,
+    workloads: &[WorkloadId],
+) {
+    for &wl in workloads {
+        let baseline = run_with_workers(wl, fidelity, mk_policy, 1, window_accesses, 7);
+        assert!(
+            baseline.windows.iter().any(|w| w.migrations > 0),
+            "{}: the run must actually migrate for the test to mean anything",
+            wl.name()
+        );
+        for &workers in &WORKER_COUNTS[1..] {
+            let other = run_with_workers(wl, fidelity, mk_policy, workers, window_accesses, 7);
+            let label = format!("{} workers=1 vs {}", wl.name(), workers);
+            assert_identical(&baseline, &other, &label);
+        }
+    }
+}
+
+#[test]
+fn waterfall_identical_across_worker_counts_every_workload() {
+    assert_workers_invariant(
+        Fidelity::Modeled,
+        &|| Box::new(WaterfallModel::new(25.0)),
+        20_000,
+        &WorkloadId::ALL,
+    );
+}
+
+#[test]
+fn analytical_identical_across_worker_counts_every_workload() {
+    assert_workers_invariant(
+        Fidelity::Modeled,
+        &|| Box::new(AnalyticalModel::am_tco()),
+        20_000,
+        &WorkloadId::ALL,
+    );
+}
+
+#[test]
+fn real_fidelity_identical_across_worker_counts() {
+    // Real codecs and real pools: phase A does real compression work on
+    // the worker threads, and the handles it produces feed phase B. The
+    // aggressive knob guarantees multi-destination plans (several batches).
+    assert_workers_invariant(
+        Fidelity::Real,
+        &|| Box::new(AnalyticalModel::new(0.05)),
+        8_000,
+        &[WorkloadId::MemcachedYcsb, WorkloadId::Bfs],
+    );
+}
+
+#[test]
+fn execute_plan_report_is_worker_invariant() {
+    // Below the daemon: drive execute_plan directly with a fan-out plan
+    // and check the *report* (moved/rejected/costs/stall) is identical,
+    // while the workers field faithfully records the configuration.
+    use tierscape::sim::{Placement, PlannedMove};
+
+    let mk = || standard_system(WorkloadId::MemcachedYcsb, Fidelity::Real, 21);
+    let plan: Vec<PlannedMove> = (0..8)
+        .map(|r| PlannedMove {
+            region: r,
+            dest: match r % 3 {
+                0 => Placement::Compressed(0),
+                1 => Placement::Compressed(1),
+                _ => Placement::ByteTier(0),
+            },
+        })
+        .collect();
+
+    let mut base_sys = mk();
+    let base = base_sys.execute_plan(&plan, 1);
+    assert!(base.moved > 0, "plan must move pages");
+    assert!(base.batches >= 2, "fan-out plan must form several batches");
+    for workers in [2, 4, 8] {
+        let mut sys = mk();
+        let rep = sys.execute_plan(&plan, workers);
+        assert_eq!(rep.workers, workers as u32, "workers field records config");
+        assert_eq!(rep.moved, base.moved, "workers={workers}: moved");
+        assert_eq!(rep.rejected, base.rejected, "workers={workers}: rejected");
+        assert_eq!(rep.batches, base.batches, "workers={workers}: batches");
+        assert_eq!(
+            rep.regions_moved, base.regions_moved,
+            "workers={workers}: regions_moved"
+        );
+        assert_eq!(
+            rep.cost_ns.to_bits(),
+            base.cost_ns.to_bits(),
+            "workers={workers}: cost {} vs {}",
+            rep.cost_ns,
+            base.cost_ns
+        );
+        assert_eq!(
+            rep.stall_ns.to_bits(),
+            base.stall_ns.to_bits(),
+            "workers={workers}: stall"
+        );
+        // And the systems themselves ended up in the same state.
+        assert_eq!(
+            sys.placement_counts(),
+            base_sys.placement_counts(),
+            "workers={workers}: placements"
+        );
+        assert_eq!(
+            sys.current_tco().to_bits(),
+            base_sys.current_tco().to_bits(),
+            "workers={workers}: tco"
+        );
+        assert_eq!(
+            sys.daemon_ns().to_bits(),
+            base_sys.daemon_ns().to_bits(),
+            "workers={workers}: daemon_ns"
+        );
+    }
+}

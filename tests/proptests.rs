@@ -267,3 +267,223 @@ proptest! {
         prop_assert_eq!(z.total_pages(), 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Load-after-store round-trips for every (algorithm, pool, medium)
+    /// combination — the paper's full 63-tier space — through the sharded
+    /// `&self` subsystem API.
+    #[test]
+    fn zswap_round_trips_all_63_tier_combinations(
+        content_seed in any::<u64>(),
+        class_idx in 0usize..5,
+        page_idx in 0u64..1_000_000,
+    ) {
+        use tierscape::mem::{Machine, MediaKind};
+        use tierscape::workloads::PageClass;
+        use tierscape::zswap::{TierConfig, ZswapError, ZswapSubsystem};
+
+        let machine = Arc::new(
+            Machine::builder()
+                .node(MediaKind::Dram, 96 << 20)
+                .node(MediaKind::Nvmm, 96 << 20)
+                .node(MediaKind::Cxl, 96 << 20)
+                .build(),
+        );
+        let mut z = ZswapSubsystem::new(machine);
+        let configs = TierConfig::all();
+        prop_assert_eq!(configs.len(), 63, "7 algorithms x 3 pools x 3 media");
+        let ids: Vec<_> = configs
+            .into_iter()
+            .map(|c| z.create_tier(c).expect("all media present"))
+            .collect();
+
+        let class = PageClass::ALL[class_idx];
+        let mut page = vec![0u8; 4096];
+        class.fill(content_seed, page_idx, &mut page);
+        for &id in &ids {
+            let stored = match z.store(id, &page) {
+                Ok(s) => s,
+                // High-entropy pages may honestly be rejected; never corrupted.
+                Err(ZswapError::Incompressible) => continue,
+                Err(e) => {
+                    prop_assert!(false, "store: {e}");
+                    unreachable!()
+                }
+            };
+            prop_assert_eq!(z.tier(id).unwrap().stats().pages, 1);
+            let got = z.load(id, stored).expect("just stored");
+            prop_assert_eq!(&got, &page, "tier {:?} corrupted the page", id);
+            prop_assert_eq!(z.tier(id).unwrap().stats().pages, 0);
+        }
+    }
+
+    /// Under arbitrary interleavings of stores, migrations and invalidations
+    /// across shards, every tier's compressed payload stays inside its pool's
+    /// backing pages: stored bytes never exceed what the pool actually holds.
+    #[test]
+    fn zswap_stored_bytes_bounded_by_pool(
+        ops in proptest::collection::vec((0u8..3, 0usize..64, 0usize..3), 1..80),
+    ) {
+        use tierscape::mem::{Machine, MediaKind};
+        use tierscape::workloads::PageClass;
+        use tierscape::zswap::{TierConfig, ZswapError, ZswapSubsystem};
+
+        let machine = Arc::new(
+            Machine::builder()
+                .node(MediaKind::Dram, 32 << 20)
+                .node(MediaKind::Nvmm, 64 << 20)
+                .build(),
+        );
+        let mut z = ZswapSubsystem::new(machine);
+        let tiers = [
+            z.create_tier(TierConfig::ct1()).unwrap(),
+            z.create_tier(TierConfig::ct2()).unwrap(),
+            z.create_tier(TierConfig::characterized_12()[0].clone()).unwrap(),
+        ];
+        let mut live: Vec<(usize, tierscape::zswap::StoredPage, u64)> = Vec::new();
+        let mut buf = vec![0u8; 4096];
+        for (op, pick, tsel) in ops {
+            match op {
+                0 => {
+                    let page_idx = (live.len() as u64).wrapping_mul(11) + pick as u64;
+                    let class = PageClass::ALL[page_idx as usize % PageClass::ALL.len()];
+                    class.fill(3, page_idx, &mut buf);
+                    match z.store(tiers[tsel], &buf) {
+                        Ok(s) => live.push((tsel, s, page_idx)),
+                        Err(ZswapError::Incompressible) => {}
+                        Err(e) => prop_assert!(false, "store: {e}"),
+                    }
+                }
+                1 if !live.is_empty() => {
+                    let idx = pick % live.len();
+                    let (t, s, page_idx) = live[idx];
+                    if t != tsel && !s.is_same_filled() {
+                        match z.migrate_copy(tiers[t], tiers[tsel], s) {
+                            Ok(out) => {
+                                z.finish_migration_out(tiers[t], s).expect("live");
+                                live[idx] = (tsel, out.stored, page_idx);
+                            }
+                            // Destination codec may reject the page; the
+                            // source copy must stay untouched.
+                            Err(ZswapError::Incompressible) => {}
+                            Err(e) => prop_assert!(false, "migrate_copy: {e}"),
+                        }
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let (t, s, _) = live.swap_remove(pick % live.len());
+                    z.invalidate(tiers[t], s).expect("live page");
+                }
+                _ => {}
+            }
+            for &tid in &tiers {
+                let tier = z.tier(tid).unwrap();
+                let (stats, pool) = (tier.stats(), tier.pool_stats());
+                // Compressed payload accounting agrees across the two layers
+                // (same-filled pages occupy no pool space by design).
+                prop_assert_eq!(stats.compressed_bytes, pool.stored_bytes);
+                // The pool never claims to hold more payload than its
+                // backing pages can contain.
+                prop_assert!(
+                    pool.stored_bytes <= pool.pool_bytes(),
+                    "{} payload bytes in {} backing bytes",
+                    pool.stored_bytes,
+                    pool.pool_bytes()
+                );
+            }
+        }
+        for (t, s, _) in live {
+            z.invalidate(tiers[t], s).expect("live page");
+        }
+        prop_assert_eq!(z.total_pages(), 0);
+    }
+
+    /// Two threads racing `invalidate` on the same handles (while a third
+    /// keeps storing into another shard) free each page exactly once: the
+    /// loser gets a clean error, never a double-free or corrupted stats.
+    #[test]
+    fn zswap_concurrent_store_invalidate_no_double_free(
+        kind_idx in 0usize..3,
+        pages in 8usize..40,
+    ) {
+        use tierscape::mem::{Machine, MediaKind};
+        use tierscape::workloads::PageClass;
+        use tierscape::zswap::{TierConfig, ZswapSubsystem};
+
+        let machine = Arc::new(
+            Machine::builder()
+                .node(MediaKind::Dram, 32 << 20)
+                .node(MediaKind::Nvmm, 64 << 20)
+                .build(),
+        );
+        let mut z = ZswapSubsystem::new(machine);
+        let victim_cfg = TierConfig::new(
+            tierscape::compress::Algorithm::Lzo,
+            PoolKind::ALL[kind_idx],
+            MediaKind::Nvmm,
+        );
+        let victims = z.create_tier(victim_cfg).unwrap();
+        let stores = z.create_tier(TierConfig::ct1()).unwrap();
+
+        // Pre-store victim pages; Text never takes the same-filled path, so
+        // every page owns a real pool object a double-free would corrupt.
+        let mut buf = vec![0u8; 4096];
+        let handles: Vec<_> = (0..pages)
+            .map(|i| {
+                PageClass::Text.fill(17, i as u64, &mut buf);
+                let s = z.store(victims, &buf).expect("text compresses");
+                assert!(!s.is_same_filled());
+                s
+            })
+            .collect();
+
+        let z = &z;
+        let handles = &handles;
+        let (oks_a, oks_b, stored_count) = std::thread::scope(|scope| {
+            // Racers walk the same handles in opposite orders.
+            let a = scope.spawn(move || {
+                handles
+                    .iter()
+                    .map(|&s| z.invalidate(victims, s).is_ok())
+                    .collect::<Vec<bool>>()
+            });
+            let b = scope.spawn(move || {
+                handles
+                    .iter()
+                    .rev()
+                    .map(|&s| z.invalidate(victims, s).is_ok())
+                    .collect::<Vec<bool>>()
+            });
+            // Meanwhile an unrelated shard takes stores through &self.
+            let c = scope.spawn(move || {
+                let mut buf = vec![0u8; 4096];
+                let mut stored = Vec::new();
+                for i in 0..pages {
+                    PageClass::HighlyCompressible.fill(23, i as u64, &mut buf);
+                    stored.push(z.store(stores, &buf).expect("compressible"));
+                }
+                stored
+            });
+            let oks_a = a.join().expect("no panic in racer A");
+            let mut oks_b = b.join().expect("no panic in racer B");
+            oks_b.reverse();
+            (oks_a, oks_b, c.join().expect("no panic in storer").len())
+        });
+
+        for (i, (&a, &b)) in oks_a.iter().zip(&oks_b).enumerate() {
+            prop_assert!(
+                a ^ b,
+                "handle {i}: freed {} times",
+                u8::from(a) + u8::from(b)
+            );
+        }
+        let vt = z.tier(victims).unwrap();
+        prop_assert_eq!(vt.stats().pages, 0);
+        prop_assert_eq!(vt.stats().compressed_bytes, 0);
+        prop_assert_eq!(vt.pool_stats().stored_bytes, 0);
+        drop(vt);
+        prop_assert_eq!(z.tier(stores).unwrap().stats().pages as usize, stored_count);
+    }
+}
