@@ -9,7 +9,7 @@
 
 use crate::filter::{FilterState, MigrationFilter};
 use crate::policy::PlacementPolicy;
-use ts_sim::{PerfReport, PlannedMove, TcoReport, TieredSystem};
+use ts_sim::{FaultCounters, FaultPlan, PerfReport, PlannedMove, TcoReport, TieredSystem};
 use ts_telemetry::{AccessBitScanner, DamonRegions, Profiler, TelemetryConfig, TelemetrySource};
 
 /// Which telemetry source feeds the models (see [`ts_telemetry`]).
@@ -52,6 +52,13 @@ pub struct DaemonConfig {
     /// engine's results and accounting are bit-identical for every value —
     /// this only changes how fast the host executes the plan.
     pub migration_workers: usize,
+    /// Deterministic fault-injection plan (chaos testing). `None` (the
+    /// default) disables injection and is byte-identical to builds
+    /// without the fault layer; with a plan the daemon degrades
+    /// gracefully — aborted moves stay put, exhausted pools overflow to
+    /// the next tier down, and pressure-spiked tiers accept no
+    /// migrations for the window.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -70,6 +77,7 @@ impl Default for DaemonConfig {
             migration_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            fault_plan: None,
         }
     }
 }
@@ -95,6 +103,8 @@ pub struct WindowRecord {
     pub solver_cost_ns: f64,
     /// Sum of cooled hotness over all regions (Fig. 9d trend).
     pub hotness_total: f64,
+    /// Cumulative per-site fault events at window end.
+    pub faults: FaultCounters,
 }
 
 /// Result of a full daemon-driven run.
@@ -112,6 +122,8 @@ pub struct RunReport {
     pub daemon_ns: f64,
     /// Profiling share of the tax in ns.
     pub profiling_ns: f64,
+    /// Total per-site fault events injected/handled over the run.
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
@@ -161,6 +173,9 @@ pub fn run_daemon(
             telemetry.cooling,
         )),
     };
+    if let Some(plan) = &cfg.fault_plan {
+        system.set_fault_plan(plan.clone());
+    }
     let mut filter_state = FilterState::default();
     let mut windows = Vec::with_capacity(cfg.windows as usize);
     let mut profiling_charged = 0.0f64;
@@ -205,13 +220,20 @@ pub fn run_daemon(
             // model output, Fig. 9a).
             let placements = system.placements();
             for e in &plan {
-                let idx = placements
-                    .iter()
-                    .position(|&p| p == e.dest)
-                    .expect("known placement");
+                // A recommendation for an unknown placement is dropped
+                // (the filter would reject it anyway) rather than panicking.
+                let Some(idx) = placements.iter().position(|&p| p == e.dest) else {
+                    continue;
+                };
                 rec[idx] += system.region_pages(e.region).count() as u64;
             }
-            let filtered = cfg.filter.apply(&plan, system, &mut filter_state);
+            // Capacity-pressure fault spikes degrade the plan: a spiked
+            // tier accepts no migrations this window. Empty without an
+            // active plan, making this a no-op in fault-free runs.
+            let spiked = system.draw_pressure_spikes();
+            let filtered = cfg
+                .filter
+                .apply_degraded(&plan, system, &mut filter_state, &spiked);
             let moves: Vec<PlannedMove> = filtered
                 .iter()
                 .map(|e| PlannedMove {
@@ -248,6 +270,7 @@ pub fn run_daemon(
             migration_cost_ns: migration_cost,
             solver_cost_ns: solver_cost,
             hotness_total: snapshot.iter().map(|(_, h)| h).sum(),
+            faults: system.fault_counters(),
         });
     }
 
@@ -262,6 +285,7 @@ pub fn run_daemon(
         tco: system.tco_report(),
         daemon_ns: system.daemon_ns(),
         profiling_ns: profiling_charged,
+        faults: system.fault_counters(),
     }
 }
 

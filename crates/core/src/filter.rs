@@ -47,6 +47,20 @@ impl MigrationFilter {
         system: &TieredSystem,
         state: &mut FilterState,
     ) -> Vec<PlanEntry> {
+        self.apply_degraded(plan, system, state, &[])
+    }
+
+    /// Like [`MigrationFilter::apply`], but destinations in `spiked`
+    /// (tier-capacity pressure spikes from the fault plan) are treated as
+    /// full: entries targeting them are dropped, degrading the plan for
+    /// this window instead of migrating into a pressured tier.
+    pub fn apply_degraded(
+        &self,
+        plan: &[PlanEntry],
+        system: &TieredSystem,
+        state: &mut FilterState,
+        spiked: &[Placement],
+    ) -> Vec<PlanEntry> {
         state.window += 1;
         // Bytes that each destination can still absorb.
         let placements = system.placements();
@@ -60,6 +74,9 @@ impl MigrationFilter {
         for e in plan {
             let cur = system.region_placement(e.region);
             if cur == e.dest {
+                continue;
+            }
+            if spiked.contains(&e.dest) {
                 continue;
             }
             if self.cooloff_windows > 0 {

@@ -58,6 +58,7 @@ pub mod prelude {
     pub use crate::setup::SystemSetup;
     pub use crate::tierselect::{TempBucket, TierChoice, TierSelector, WorkloadProfile};
     pub use crate::waterfall::WaterfallModel;
+    pub use ts_faults::{FaultCounters, FaultPlan, FaultSite, TierError};
 }
 
 pub use prelude::*;

@@ -49,6 +49,7 @@ pub mod system;
 pub use calib::{Calibration, RatioStats};
 pub use histogram::LatencyHistogram;
 pub use system::{MigrationReport, PerfReport, PlannedMove, SimTierStats, TcoReport, TieredSystem};
+pub use ts_faults::{FaultCounters, FaultPlan, FaultSite, TierError};
 
 use ts_mem::MediaKind;
 use ts_zswap::{TierConfig, ZswapError};
@@ -210,6 +211,9 @@ pub enum SimError {
     Rejected,
     /// Underlying zswap failure.
     Zswap(ZswapError),
+    /// A tier-level fault (injected or genuine) handled by the
+    /// degradation paths: the page keeps its source placement.
+    Tier(TierError),
 }
 
 impl std::fmt::Display for SimError {
@@ -218,11 +222,18 @@ impl std::fmt::Display for SimError {
             SimError::Config(what) => write!(f, "bad config: {what}"),
             SimError::Rejected => write!(f, "page rejected as incompressible"),
             SimError::Zswap(e) => write!(f, "zswap: {e}"),
+            SimError::Tier(e) => write!(f, "tier fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<TierError> for SimError {
+    fn from(e: TierError) -> Self {
+        SimError::Tier(e)
+    }
+}
 
 /// Result alias for this crate.
 pub type SimResult<T> = Result<T, SimError>;

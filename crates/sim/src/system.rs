@@ -9,9 +9,10 @@ use crate::calib::Calibration;
 use crate::histogram::LatencyHistogram;
 use crate::{Fidelity, Placement, SimConfig, SimError, SimResult};
 use std::sync::Arc;
+use ts_faults::{FaultCounters, FaultPlan, FaultSite, TierError};
 use ts_mem::{Machine, MediaKind, MediaSpec, PAGE_SIZE};
 use ts_workloads::{Access, Workload};
-use ts_zpool::PoolKind;
+use ts_zpool::{PoolError, PoolKind};
 use ts_zswap::{StoredPage, SwapDevice, TierId, ZswapError, ZswapSubsystem};
 
 /// Where a page currently lives.
@@ -78,6 +79,8 @@ pub struct MigrationReport {
     /// that batch's busy ns). High stall means one destination dominated
     /// the plan and the others' logical workers sat idle.
     pub stall_ns: f64,
+    /// Per-site fault events injected/handled while executing this plan.
+    pub faults: FaultCounters,
 }
 
 /// One entry of a window plan: move every page of `region` to `dest`.
@@ -143,6 +146,10 @@ enum Disposition {
         /// Job index within the batch.
         job: usize,
     },
+    /// Injected migration abort (fault plan): the page was never
+    /// enqueued, keeps its source placement, and phase B repairs the
+    /// report accounting (counted neither moved nor rejected).
+    Aborted,
 }
 
 /// Performance accounting snapshot (Eq. 3–7).
@@ -211,6 +218,13 @@ pub struct TieredSystem {
     pub swap_faults: u64,
     /// Per-tier insertion order of compressed pages (writeback LRU).
     wb_order: Vec<std::collections::VecDeque<u64>>,
+    /// Installed fault-injection plan (None = fault-free, zero-cost).
+    faults: Option<Arc<FaultPlan>>,
+    /// Cumulative per-site fault events injected/handled.
+    fault_counters: FaultCounters,
+    /// Serial draw counter keying sim-level fault decisions; only ever
+    /// advanced on serial paths, so runs are scheduling-independent.
+    fault_nonce: u64,
 }
 
 impl TieredSystem {
@@ -288,7 +302,69 @@ impl TieredSystem {
             swap_bytes: 0,
             swap_faults: 0,
             wb_order: vec![std::collections::VecDeque::new(); ntiers],
+            faults: None,
+            fault_counters: FaultCounters::default(),
+            fault_nonce: 0,
         })
+    }
+
+    /// Install a deterministic fault-injection plan. In `Real` fidelity
+    /// the plan also reaches every zswap tier and its pool. Installing a
+    /// plan additionally arms the graceful-degradation paths (waterfall
+    /// overflow on pool exhaustion); without a plan those paths are
+    /// byte-identical to the fault-free build.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let plan = Arc::new(plan);
+        if let Some(z) = &self.zswap {
+            z.set_fault_plan(&plan);
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Cumulative per-site fault events injected (or handled by the
+    /// degradation paths) so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
+    }
+
+    /// One serial fault draw for `site`. Advances the nonce only when the
+    /// site can trip at all, so a plan with rate 0 (and the default
+    /// no-plan state) leaves behavior byte-identical to fault-free runs.
+    fn fault_trips(&mut self, site: FaultSite) -> bool {
+        let Some(plan) = &self.faults else {
+            return false;
+        };
+        if !plan.site_active(site) {
+            return false;
+        }
+        let key = self.fault_nonce;
+        self.fault_nonce += 1;
+        plan.trips(site, key)
+    }
+
+    /// Waterfall fallback destination when `dest`'s pool is exhausted:
+    /// the next compressed tier down, if any.
+    fn overflow_dest(&self, dest: Placement) -> Option<Placement> {
+        match dest {
+            Placement::Compressed(t) if t + 1 < self.cfg.compressed_tiers.len() => {
+                Some(Placement::Compressed(t + 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Draw this window's capacity-pressure spikes: compressed tiers the
+    /// migration filter must treat as full (they accept no migrations
+    /// for one window). One serial draw per tier; empty without a plan.
+    pub fn draw_pressure_spikes(&mut self) -> Vec<Placement> {
+        let mut spiked = Vec::new();
+        for i in 0..self.cfg.compressed_tiers.len() {
+            if self.fault_trips(FaultSite::CapacityPressure) {
+                self.fault_counters.bump(FaultSite::CapacityPressure);
+                spiked.push(Placement::Compressed(i));
+            }
+        }
+        spiked
     }
 
     /// The simulation configuration.
@@ -724,12 +800,16 @@ impl TieredSystem {
             let slot = match (self.zswap.as_mut(), stored) {
                 (Some(z), Some(sp)) => {
                     let id = self.zswap_ids[t];
-                    let bytes = z
-                        .tier(id)
-                        .expect("tier exists")
-                        .peek_compressed(sp)
-                        .expect("live");
-                    z.invalidate(id, sp).expect("live");
+                    // Residency says compressed, but if the zswap entry is
+                    // gone (stale handle) skip the victim instead of
+                    // panicking; the loop tries the next-oldest page.
+                    let bytes = match z.tier(id).ok().and_then(|tr| tr.peek_compressed(sp).ok()) {
+                        Some(b) => b,
+                        None => continue,
+                    };
+                    if z.invalidate(id, sp).is_err() {
+                        continue;
+                    }
                     Some(self.swap.write(bytes))
                 }
                 _ => None,
@@ -768,11 +848,32 @@ impl TieredSystem {
     /// Migrate one page to `dest`; returns the migration cost in ns, charged
     /// to the daemon (not application time).
     ///
+    /// When a fault plan is installed and a compressed destination's pool
+    /// is exhausted ([`TierError::PoolExhausted`]), the move overflows
+    /// waterfall-style into the next compressed tier down, tier by tier,
+    /// until one accepts the page or none remain.
+    ///
     /// # Errors
     ///
     /// [`SimError::Rejected`] when a compressed destination rejects the page
-    /// as incompressible (the page stays where it was).
+    /// as incompressible; [`SimError::Tier`] when a fault (injected or
+    /// genuine, with a plan installed) leaves the page in its source
+    /// placement. Either way the page stays where it was.
     pub fn migrate_page(&mut self, vpage: u64, dest: Placement) -> SimResult<f64> {
+        let mut dest = dest;
+        loop {
+            match self.migrate_page_once(vpage, dest) {
+                Err(SimError::Tier(TierError::PoolExhausted)) => match self.overflow_dest(dest) {
+                    Some(next) => dest = next,
+                    None => return Err(SimError::Tier(TierError::PoolExhausted)),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// One migration attempt to exactly `dest` (no waterfall fallback).
+    fn migrate_page_once(&mut self, vpage: u64, dest: Placement) -> SimResult<f64> {
         let src = self.page_placement(vpage);
         if src == dest {
             return Ok(0.0);
@@ -785,19 +886,24 @@ impl TieredSystem {
             }
             Placement::Compressed(t) => {
                 // Compressed-to-compressed can use the zswap fast path.
-                if let (
+                let fast = match self.pages[vpage as usize] {
                     Residency::Compressed {
                         tier: from,
                         stored: Some(s),
                         comp_len,
-                    },
-                    Some(_),
-                ) = (self.pages[vpage as usize], self.zswap.as_ref())
-                {
-                    let z = self.zswap.as_mut().expect("checked above");
+                    } if self.zswap.is_some() => Some((from, s, comp_len)),
+                    _ => None,
+                };
+                if let Some((from, s, comp_len)) = fast {
                     let from_id = self.zswap_ids[from as usize];
                     let to_id = self.zswap_ids[t];
-                    match z.migrate_with_cost(from_id, to_id, s) {
+                    let result = match self.zswap.as_mut() {
+                        Some(z) => z.migrate_with_cost(from_id, to_id, s),
+                        // `fast` implies zswap is present; degrade to the
+                        // slow path rather than panic if it is not.
+                        None => return self.compress_into(vpage, t),
+                    };
+                    match result {
                         Ok(out) => {
                             let fs = &mut self.tier_stats[from as usize];
                             fs.pages -= 1;
@@ -820,10 +926,19 @@ impl TieredSystem {
                             self.tier_stats[t].rejections += 1;
                             return Err(SimError::Rejected);
                         }
+                        Err(ZswapError::CompressFailed) => {
+                            self.fault_counters.bump(FaultSite::ZswapStore);
+                            return Err(SimError::Tier(TierError::CompressFailed));
+                        }
+                        Err(ZswapError::Pool(PoolError::OutOfMemory))
+                            if self.faults.is_some() =>
+                        {
+                            self.fault_counters.bump(FaultSite::PoolAlloc);
+                            return Err(SimError::Tier(TierError::PoolExhausted));
+                        }
                         Err(e) => return Err(SimError::Zswap(e)),
                     }
                 } else {
-                    
                     self.compress_into(vpage, t)?
                 }
             }
@@ -905,6 +1020,20 @@ impl TieredSystem {
     /// Compress page `vpage` into tier `t` from a byte-addressable source.
     fn compress_into(&mut self, vpage: u64, t: usize) -> SimResult<f64> {
         let tcfg = self.cfg.compressed_tiers[t].clone();
+        // `Modeled` fidelity has no zswap layer to trip inside, so the
+        // store-path faults are drawn here on the serial path. (`Real`
+        // fidelity injects inside ts-zswap/ts-zpool instead, keyed by the
+        // single-writer store counters, and the errors are mapped below.)
+        if self.zswap.is_none() {
+            if self.fault_trips(FaultSite::ZswapStore) {
+                self.fault_counters.bump(FaultSite::ZswapStore);
+                return Err(SimError::Tier(TierError::CompressFailed));
+            }
+            if self.fault_trips(FaultSite::PoolAlloc) {
+                self.fault_counters.bump(FaultSite::PoolAlloc);
+                return Err(SimError::Tier(TierError::PoolExhausted));
+            }
+        }
         let (comp_len, stored) = match &mut self.zswap {
             Some(z) => {
                 self.workload.fill_page(vpage, &mut self.page_buf);
@@ -914,6 +1043,14 @@ impl TieredSystem {
                     Err(ZswapError::Incompressible) => {
                         self.tier_stats[t].rejections += 1;
                         return Err(SimError::Rejected);
+                    }
+                    Err(ZswapError::CompressFailed) => {
+                        self.fault_counters.bump(FaultSite::ZswapStore);
+                        return Err(SimError::Tier(TierError::CompressFailed));
+                    }
+                    Err(ZswapError::Pool(PoolError::OutOfMemory)) if self.faults.is_some() => {
+                        self.fault_counters.bump(FaultSite::PoolAlloc);
+                        return Err(SimError::Tier(TierError::PoolExhausted));
                     }
                     Err(e) => return Err(SimError::Zswap(e)),
                 }
@@ -960,6 +1097,7 @@ impl TieredSystem {
     /// Migrate every page of `region` to `dest`; rejected pages stay put.
     pub fn migrate_region(&mut self, region: u64, dest: Placement) -> MigrationReport {
         let mut report = MigrationReport::default();
+        let faults_before = self.fault_counters;
         for p in self.region_pages(region) {
             match self.migrate_page(p, dest) {
                 Ok(c) => {
@@ -973,6 +1111,7 @@ impl TieredSystem {
             }
         }
         report.regions_moved = u64::from(report.moved > 0);
+        report.faults = self.fault_counters.since(faults_before);
         report
     }
 
@@ -1006,6 +1145,7 @@ impl TieredSystem {
             workers: workers as u32,
             ..MigrationReport::default()
         };
+        let faults_before = self.fault_counters;
 
         // Phase 0: classify every page of the plan against a snapshot of
         // the page table. Nothing below mutates simulator state until
@@ -1026,6 +1166,15 @@ impl TieredSystem {
                 let res = self.pages[vpage as usize];
                 if self.page_placement(vpage) == mv.dest {
                     plan_pages.push((ei, vpage, res, Disposition::Skip));
+                    continue;
+                }
+                // Injected migration abort: drawn here, on the serial
+                // classification pass, so the decision sequence (and thus
+                // the whole run) is identical at any worker count. The
+                // page is never enqueued and keeps its placement.
+                if self.fault_trips(FaultSite::MigrationCopy) {
+                    self.fault_counters.bump(FaultSite::MigrationCopy);
+                    plan_pages.push((ei, vpage, res, Disposition::Aborted));
                     continue;
                 }
                 let job = if !fresh || self.zswap.is_none() {
@@ -1155,6 +1304,10 @@ impl TieredSystem {
             let dest = moves[ei].dest;
             match disp {
                 Disposition::Skip => {}
+                // Repair for an aborted page: it kept its source placement
+                // and the report counts it neither moved nor rejected, so
+                // the accounting stays exact.
+                Disposition::Aborted => {}
                 Disposition::Serial => match self.migrate_page(vpage, dest) {
                     Ok(c) => {
                         if c > 0.0 {
@@ -1290,6 +1443,34 @@ impl TieredSystem {
                             }
                             report.rejected += 1;
                         }
+                        // Injected compression failure in phase A: the
+                        // source copy is intact (stores fail before any
+                        // source release), so the page just stays put.
+                        (Err(ZswapError::CompressFailed), false) => {
+                            self.fault_counters.bump(FaultSite::ZswapStore);
+                            report.rejected += 1;
+                        }
+                        // Destination pool exhausted in phase A: repair in
+                        // phase B with the serial waterfall path, which
+                        // overflows into the next compressed tier down.
+                        (Err(ZswapError::Pool(PoolError::OutOfMemory)), false)
+                            if self.faults.is_some() =>
+                        {
+                            self.fault_counters.bump(FaultSite::PoolAlloc);
+                            match self.overflow_dest(dest) {
+                                Some(next) => match self.migrate_page(vpage, next) {
+                                    Ok(c) => {
+                                        if c > 0.0 {
+                                            report.moved += 1;
+                                            entry_moved[ei] = true;
+                                        }
+                                        tail_ns += c;
+                                    }
+                                    Err(_) => report.rejected += 1,
+                                },
+                                None => report.rejected += 1,
+                            }
+                        }
                         (Err(_), false) => report.rejected += 1,
                     }
                 }
@@ -1307,6 +1488,7 @@ impl TieredSystem {
         self.advance_tco(engine_ns);
         report.cost_ns = engine_ns + tail_ns;
         report.regions_moved = entry_moved.iter().filter(|&&m| m).count() as u64;
+        report.faults = self.fault_counters.since(faults_before);
         report
     }
 

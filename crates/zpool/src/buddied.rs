@@ -56,6 +56,8 @@ pub struct BuddiedPool {
     handles: HashMap<u64, usize>,
     next_handle: u64,
     stats: PoolStats,
+    faults: Option<Arc<ts_faults::FaultPlan>>,
+    fault_salt: u64,
 }
 
 impl BuddiedPool {
@@ -79,6 +81,8 @@ impl BuddiedPool {
             handles: HashMap::new(),
             next_handle: 1,
             stats: PoolStats::default(),
+            faults: None,
+            fault_salt: 0,
         }
     }
 
@@ -182,6 +186,16 @@ impl ZPool for BuddiedPool {
         if data.len() > PAGE_SIZE {
             return Err(PoolError::ObjectTooLarge { size: data.len() });
         }
+        if let Some(plan) = &self.faults {
+            // Keyed by the pool's store count: single-writer per tier, so
+            // the decision sequence is scheduling-independent.
+            if plan.trips(
+                ts_faults::FaultSite::PoolAlloc,
+                self.fault_salt ^ self.stats.stores,
+            ) {
+                return Err(PoolError::OutOfMemory);
+            }
+        }
         let page_id = match self.find_page(data.len()) {
             Some(id) => {
                 self.unlink_from_bucket(id);
@@ -259,6 +273,11 @@ impl ZPool for BuddiedPool {
 
     fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<Arc<ts_faults::FaultPlan>>, salt: u64) {
+        self.faults = plan;
+        self.fault_salt = salt;
     }
 }
 

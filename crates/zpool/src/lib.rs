@@ -231,6 +231,14 @@ pub trait ZPool: Send + Sync {
     fn mgmt_overhead_ns(&self) -> f64 {
         self.kind().mgmt_overhead_ns()
     }
+
+    /// Install (or clear) a deterministic fault-injection plan.
+    ///
+    /// When a plan is present, `store` trips [`PoolError::OutOfMemory`]
+    /// at the plan's `pool_alloc` rate, keyed by `salt ^ stores-count`
+    /// so decisions are deterministic on single-writer paths. The
+    /// default implementation ignores the plan (no injection).
+    fn set_fault_plan(&mut self, _plan: Option<Arc<ts_faults::FaultPlan>>, _salt: u64) {}
 }
 
 #[cfg(test)]

@@ -91,6 +91,8 @@ pub struct ZsmallocPool {
     handles: HashMap<u64, Location>,
     next_handle: u64,
     stats: PoolStats,
+    faults: Option<Arc<ts_faults::FaultPlan>>,
+    fault_salt: u64,
 }
 
 impl ZsmallocPool {
@@ -103,6 +105,8 @@ impl ZsmallocPool {
             handles: HashMap::new(),
             next_handle: 1,
             stats: PoolStats::default(),
+            faults: None,
+            fault_salt: 0,
         }
     }
 
@@ -143,6 +147,16 @@ impl ZPool for ZsmallocPool {
     fn store(&mut self, data: &[u8]) -> Result<Handle, PoolError> {
         if data.len() > PAGE_SIZE {
             return Err(PoolError::ObjectTooLarge { size: data.len() });
+        }
+        if let Some(plan) = &self.faults {
+            // Keyed by the pool's store count: single-writer per tier, so
+            // the decision sequence is scheduling-independent.
+            if plan.trips(
+                ts_faults::FaultSite::PoolAlloc,
+                self.fault_salt ^ self.stats.stores,
+            ) {
+                return Err(PoolError::OutOfMemory);
+            }
         }
         let class_size = class_size_for(data.len());
         let class = self
@@ -245,6 +259,11 @@ impl ZPool for ZsmallocPool {
 
     fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<Arc<ts_faults::FaultPlan>>, salt: u64) {
+        self.faults = plan;
+        self.fault_salt = salt;
     }
 }
 

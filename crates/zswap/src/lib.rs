@@ -62,6 +62,9 @@ use ts_zpool::PoolError;
 pub enum ZswapError {
     /// The page did not shrink under the tier's codec; store it raw.
     Incompressible,
+    /// The compressor itself failed on the page (injected fault); the
+    /// caller must keep the page uncompressed in its source tier.
+    CompressFailed,
     /// The machine has no NUMA node with the requested backing medium.
     NoSuchMedia {
         /// The missing medium.
@@ -79,6 +82,7 @@ impl std::fmt::Display for ZswapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ZswapError::Incompressible => write!(f, "page rejected as incompressible"),
+            ZswapError::CompressFailed => write!(f, "injected compression failure"),
             ZswapError::NoSuchMedia { media } => write!(f, "no node with media {media}"),
             ZswapError::NoSuchTier(id) => write!(f, "no tier {id:?}"),
             ZswapError::Pool(e) => write!(f, "pool error: {e}"),
@@ -145,6 +149,14 @@ impl ZswapSubsystem {
     /// Number of active tiers.
     pub fn tier_count(&self) -> usize {
         self.tiers.len()
+    }
+
+    /// Install a deterministic fault-injection plan on every tier (and
+    /// each tier's pool). See [`CompressedTier::set_fault_plan`].
+    pub fn set_fault_plan(&self, plan: &Arc<ts_faults::FaultPlan>) {
+        for shard in &self.tiers {
+            shard.write().set_fault_plan(plan.clone());
+        }
     }
 
     /// Read access to a tier by id.

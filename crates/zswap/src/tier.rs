@@ -36,6 +36,8 @@ pub struct TierStats {
     pub same_filled: u64,
     /// Pages written back to the swap device under pool pressure.
     pub writebacks: u64,
+    /// Stores failed by injected compression faults (chaos testing).
+    pub compress_failures: u64,
 }
 
 /// A stored compressed page: pool handle plus sizes.
@@ -74,6 +76,7 @@ pub struct CompressedTier {
     pool: Box<dyn ZPool>,
     node: NodeId,
     stats: TierStats,
+    faults: Option<Arc<ts_faults::FaultPlan>>,
 }
 
 impl CompressedTier {
@@ -100,7 +103,19 @@ impl CompressedTier {
             pool,
             node,
             stats: TierStats::default(),
+            faults: None,
         })
+    }
+
+    /// Install a deterministic fault-injection plan on this tier and its
+    /// pool. Store decisions are keyed by the tier/pool store counters,
+    /// which are single-writer under the parallel migration engine, so a
+    /// fixed seed gives the same faults at any worker count.
+    pub fn set_fault_plan(&mut self, plan: Arc<ts_faults::FaultPlan>) {
+        // Distinct per-tier salts keep pools drawing independently.
+        self.pool
+            .set_fault_plan(Some(plan.clone()), (u64::from(self.id.0) + 1) << 32);
+        self.faults = Some(plan);
     }
 
     /// Tier identifier.
@@ -148,6 +163,15 @@ impl CompressedTier {
                 original_len: page.len(),
                 same_filled: Some(v),
             });
+        }
+        if let Some(plan) = &self.faults {
+            // Keyed by this tier's store count (single-writer in phase A):
+            // deterministic for a fixed seed at any worker count.
+            let key = (u64::from(self.id.0) << 40) ^ self.stats.stores;
+            if plan.trips(ts_faults::FaultSite::ZswapStore, key) {
+                self.stats.compress_failures += 1;
+                return Err(ZswapError::CompressFailed);
+            }
         }
         let mut buf = Vec::with_capacity(page.len());
         match self.codec.compress(page, &mut buf) {

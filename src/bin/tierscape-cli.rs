@@ -24,6 +24,9 @@ fn usage() -> ! {
          \x20                   [--content-aware] [--prefetch] [--real]\n\
          \x20                   [--migration-workers N]  (0 = all host cores; results\n\
          \x20                    are bit-identical for every worker count)\n\
+         \x20                   [--fault-rate R] [--fault-seed S] [--fault-plan FILE]\n\
+         \x20                    (R > 0 injects deterministic faults at every site;\n\
+         \x20                     seed defaults to --seed; FILE is a JSON FaultPlan)\n\
          \x20 tierscape-cli advise [--workload NAME] [--tiers K]\n\
          \x20 tierscape-cli characterize\n"
     );
@@ -137,6 +140,20 @@ fn cmd_run(args: &Args) {
     if workers > 0 {
         dcfg.migration_workers = workers;
     }
+    let fault_rate: f64 = args.parse("--fault-rate", 0.0);
+    let fault_seed: u64 = args.parse("--fault-seed", seed);
+    if let Some(path) = args.value("--fault-plan") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan '{path}': {e}");
+            std::process::exit(2);
+        });
+        dcfg.fault_plan = Some(FaultPlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }));
+    } else if fault_rate > 0.0 {
+        dcfg.fault_plan = Some(FaultPlan::uniform(fault_seed, fault_rate));
+    }
     let report = run_daemon(&mut system, policy.as_mut(), &dcfg);
 
     println!(
@@ -157,6 +174,13 @@ fn cmd_run(args: &Args) {
         report.perf.p95_ns / 1000.0,
         report.tax_fraction() * 100.0
     );
+    if dcfg.fault_plan.is_some() {
+        println!(
+            "injected faults: {} (total {})",
+            report.faults,
+            report.faults.total()
+        );
+    }
 }
 
 /// Adapter: `PrefetchingPolicy<P>` needs `P: PlacementPolicy`, and a boxed

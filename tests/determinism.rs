@@ -53,7 +53,9 @@ fn assert_identical(a: &RunReport, b: &RunReport, label: &str) {
             wb.hotness_total.to_bits(),
             "{label} w{w}: hotness"
         );
+        assert_eq!(wa.faults, wb.faults, "{label} w{w}: fault counters");
     }
+    assert_eq!(a.faults, b.faults, "{label}: fault counters");
     assert_eq!(a.perf.accesses, b.perf.accesses, "{label}: accesses");
     assert_eq!(
         a.perf.app_time_ns.to_bits(),
@@ -106,12 +108,26 @@ fn run_with_workers(
     window_accesses: u64,
     seed: u64,
 ) -> RunReport {
+    run_with_workers_plan(wl, fidelity, mk_policy, workers, window_accesses, seed, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with_workers_plan(
+    wl: WorkloadId,
+    fidelity: Fidelity,
+    mk_policy: &dyn Fn() -> Box<dyn PlacementPolicy>,
+    workers: usize,
+    window_accesses: u64,
+    seed: u64,
+    fault_plan: Option<FaultPlan>,
+) -> RunReport {
     let mut system = standard_system(wl, fidelity, seed);
     let mut policy = mk_policy();
     let cfg = DaemonConfig {
         windows: 3,
         window_accesses,
         migration_workers: workers,
+        fault_plan,
         ..DaemonConfig::default()
     };
     run_daemon(&mut system, policy.as_mut(), &cfg)
@@ -169,6 +185,34 @@ fn real_fidelity_identical_across_worker_counts() {
         8_000,
         &[WorkloadId::MemcachedYcsb, WorkloadId::Bfs],
     );
+}
+
+#[test]
+fn fault_injection_identical_across_worker_counts() {
+    // With a fault plan active at every site, a fixed --fault-seed must
+    // still give bit-identical reports *and fault counters* at any
+    // worker count: sim-level draws happen on serial paths keyed by a
+    // nonce, and zswap/zpool draws are keyed by per-tier store counters
+    // that are single-writer in phase A.
+    let plan = FaultPlan::uniform(99, 0.05);
+    for (fidelity, accesses) in [(Fidelity::Modeled, 20_000), (Fidelity::Real, 8_000)] {
+        for &wl in &[WorkloadId::MemcachedYcsb, WorkloadId::Bfs] {
+            let mk: &dyn Fn() -> Box<dyn PlacementPolicy> =
+                &|| Box::new(AnalyticalModel::new(0.05));
+            let base = run_with_workers_plan(wl, fidelity, mk, 1, accesses, 7, Some(plan.clone()));
+            assert!(
+                base.faults.total() > 0,
+                "{} {fidelity:?}: the plan must actually inject for the test to mean anything",
+                wl.name()
+            );
+            for &workers in &WORKER_COUNTS[1..] {
+                let other =
+                    run_with_workers_plan(wl, fidelity, mk, workers, accesses, 7, Some(plan.clone()));
+                let label = format!("faulty {} {fidelity:?} workers=1 vs {workers}", wl.name());
+                assert_identical(&base, &other, &label);
+            }
+        }
+    }
 }
 
 #[test]

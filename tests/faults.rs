@@ -1,0 +1,200 @@
+//! Chaos suite for the deterministic fault-injection layer.
+//!
+//! End-to-end daemon runs under every fault site at rates {0, 0.01, 0.2}
+//! must (1) never panic, (2) conserve the page count in every window
+//! record, and (3) keep every tier's pool bytes within its configured
+//! limit. A rate of 0 must be byte-identical to running with no plan at
+//! all (zero-cost when disabled), and a heavy rate must actually inject
+//! (counters > 0) while the daemon degrades gracefully.
+
+use tierscape::core::prelude::*;
+use tierscape::sim::{Fidelity, Placement, SimConfig, TieredSystem};
+use tierscape::workloads::{Scale, WorkloadId};
+
+/// Pool-byte cap tight enough that the writeback path runs in anger.
+const POOL_LIMIT: u64 = 256 << 10;
+
+fn system(fidelity: Fidelity, seed: u64) -> TieredSystem {
+    let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, seed);
+    let rss = w.rss_bytes();
+    let mut cfg = SimConfig::standard_mix(rss, fidelity, seed);
+    cfg.pool_limits = vec![Some(POOL_LIMIT); cfg.compressed_tiers.len()];
+    TieredSystem::new(cfg, w).expect("standard mix is valid")
+}
+
+/// Run the daemon under `plan` and check the conservation + bound
+/// invariants on the way out. Returns the report.
+fn run_checked(fidelity: Fidelity, plan: Option<FaultPlan>, seed: u64) -> RunReport {
+    let mut sys = system(fidelity, seed);
+    let total = sys.total_pages();
+    let ntiers = sys.config().compressed_tiers.len();
+    let cfg = DaemonConfig {
+        windows: 4,
+        window_accesses: 25_000,
+        fault_plan: plan,
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut sys, &mut AnalyticalModel::new(0.05), &cfg);
+    for w in &report.windows {
+        assert_eq!(
+            w.actual.iter().sum::<u64>(),
+            total,
+            "window {}: page count must be conserved",
+            w.window
+        );
+    }
+    for t in 0..ntiers {
+        assert!(
+            sys.tier_pool_bytes(t) <= POOL_LIMIT,
+            "tier {t}: pool bytes {} exceed limit {POOL_LIMIT}",
+            sys.tier_pool_bytes(t)
+        );
+    }
+    report
+}
+
+#[test]
+fn every_site_and_rate_survives_modeled() {
+    for site in FaultSite::ALL {
+        for rate in [0.0, 0.01, 0.2] {
+            let plan = FaultPlan::disabled(11).with_rate(site, rate);
+            let report = run_checked(Fidelity::Modeled, Some(plan), 11);
+            if rate == 0.0 {
+                assert_eq!(
+                    report.faults.total(),
+                    0,
+                    "{}: rate 0 must not inject",
+                    site.name()
+                );
+            }
+            // Counters only ever record the armed site.
+            for other in FaultSite::ALL {
+                if other != site {
+                    assert_eq!(
+                        report.faults.get(other),
+                        0,
+                        "{}: wrong-site counter moved under {}",
+                        other.name(),
+                        site.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_site_and_rate_survives_real() {
+    for site in FaultSite::ALL {
+        for rate in [0.0, 0.01, 0.2] {
+            let plan = FaultPlan::disabled(13).with_rate(site, rate);
+            let report = run_checked(Fidelity::Real, Some(plan), 13);
+            if rate == 0.0 {
+                assert_eq!(report.faults.total(), 0, "{}: rate 0", site.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn rate_zero_is_identical_to_no_plan() {
+    // Zero-cost when disabled: installing an all-zero plan must leave
+    // every report field bit-identical to a run with no plan at all.
+    for fidelity in [Fidelity::Modeled, Fidelity::Real] {
+        let base = run_checked(fidelity, None, 17);
+        let zero = run_checked(fidelity, Some(FaultPlan::disabled(12345)), 17);
+        assert_eq!(zero.faults.total(), 0);
+        assert_eq!(base.windows.len(), zero.windows.len());
+        for (a, b) in base.windows.iter().zip(&zero.windows) {
+            assert_eq!(a.recommended, b.recommended, "w{}: recommended", a.window);
+            assert_eq!(a.actual, b.actual, "w{}: actual", a.window);
+            assert_eq!(a.migrations, b.migrations, "w{}: migrations", a.window);
+            assert_eq!(
+                a.migration_cost_ns.to_bits(),
+                b.migration_cost_ns.to_bits(),
+                "w{}: migration cost",
+                a.window
+            );
+            assert_eq!(a.tco_now.to_bits(), b.tco_now.to_bits(), "w{}", a.window);
+            assert_eq!(a.faults, b.faults, "w{}: counters", a.window);
+        }
+        assert_eq!(
+            base.perf.app_time_ns.to_bits(),
+            zero.perf.app_time_ns.to_bits(),
+            "app time"
+        );
+        assert_eq!(
+            base.daemon_ns.to_bits(),
+            zero.daemon_ns.to_bits(),
+            "daemon tax"
+        );
+        assert_eq!(
+            base.tco.tco_avg.to_bits(),
+            zero.tco.tco_avg.to_bits(),
+            "tco average"
+        );
+    }
+}
+
+#[test]
+fn heavy_uniform_rate_injects_and_degrades_gracefully() {
+    // --fault-rate 0.2 at every site: the run completes, counters are
+    // positive, and the invariants (checked inside run_checked) hold.
+    for fidelity in [Fidelity::Modeled, Fidelity::Real] {
+        let report = run_checked(fidelity, Some(FaultPlan::uniform(23, 0.2)), 23);
+        assert!(
+            report.faults.total() > 0,
+            "{fidelity:?}: heavy plan must inject (got {})",
+            report.faults
+        );
+        // The window records carry cumulative counters.
+        let last = report.windows.last().expect("windows recorded");
+        assert_eq!(last.faults, report.faults, "report mirrors final window");
+        for pair in report.windows.windows(2) {
+            assert!(
+                pair[1].faults.total() >= pair[0].faults.total(),
+                "fault counters are cumulative"
+            );
+        }
+    }
+}
+
+#[test]
+fn each_site_trips_at_heavy_rate_somewhere() {
+    // Per-site arming at 0.2 must actually reach each injection site in
+    // at least one fidelity (ZswapStore/PoolAlloc materialize inside
+    // compress paths, MigrationCopy in execute_plan phase 0,
+    // CapacityPressure in the per-window filter draw).
+    for site in FaultSite::ALL {
+        let plan = FaultPlan::disabled(29).with_rate(site, 0.2);
+        let hit: u64 = [Fidelity::Modeled, Fidelity::Real]
+            .into_iter()
+            .map(|f| run_checked(f, Some(plan.clone()), 29).faults.get(site))
+            .sum();
+        assert!(hit > 0, "{}: site never tripped at rate 0.2", site.name());
+    }
+}
+
+#[test]
+fn pool_exhaustion_waterfalls_to_next_tier() {
+    // Drive migrate_page directly with PoolAlloc armed at rate 1: every
+    // store into tier 0 must overflow into the next tier down rather
+    // than fail, and an exhausted *last* tier reports PoolExhausted with
+    // the page left in place.
+    let mut sys = system(Fidelity::Modeled, 31);
+    sys.set_fault_plan(FaultPlan::disabled(31).with_rate(FaultSite::PoolAlloc, 1.0));
+    let ntiers = sys.config().compressed_tiers.len();
+    let before = sys.placement_counts();
+    let err = sys.migrate_page(0, Placement::Compressed(0));
+    assert!(err.is_err(), "all pools exhausted: the move must fail");
+    assert_eq!(
+        sys.placement_counts(),
+        before,
+        "failed waterfall leaves the page in its source tier"
+    );
+    assert_eq!(
+        sys.fault_counters().pool_alloc,
+        ntiers as u64,
+        "one exhaustion per tier on the way down"
+    );
+}

@@ -400,6 +400,74 @@ proptest! {
         prop_assert_eq!(z.total_pages(), 0);
     }
 
+    /// Random fault plans never violate the sharded-zswap invariants: with
+    /// arbitrary per-site rates injected into every one of the 63 tier
+    /// combinations, stores either succeed, honestly reject
+    /// (`Incompressible`), or fail with an injected `CompressFailed` /
+    /// `Pool(OutOfMemory)` — and in every case the payload accounting stays
+    /// exact and bounded, and successful stores still round-trip.
+    #[test]
+    fn faulty_zswap_preserves_invariants_all_63_tiers(
+        plan_seed in any::<u64>(),
+        store_millis in 0u32..=1000,
+        pool_millis in 0u32..=1000,
+        content_seed in any::<u64>(),
+        class_idx in 0usize..5,
+    ) {
+        use tierscape::mem::{Machine, MediaKind};
+        use tierscape::sim::{FaultPlan, FaultSite};
+        use tierscape::workloads::PageClass;
+        use tierscape::zswap::{TierConfig, ZswapError, ZswapSubsystem};
+
+        let machine = Arc::new(
+            Machine::builder()
+                .node(MediaKind::Dram, 96 << 20)
+                .node(MediaKind::Nvmm, 96 << 20)
+                .node(MediaKind::Cxl, 96 << 20)
+                .build(),
+        );
+        let mut z = ZswapSubsystem::new(machine);
+        let ids: Vec<_> = TierConfig::all()
+            .into_iter()
+            .map(|c| z.create_tier(c).expect("all media present"))
+            .collect();
+        let plan = FaultPlan::disabled(plan_seed)
+            .with_rate(FaultSite::ZswapStore, f64::from(store_millis) / 1000.0)
+            .with_rate(FaultSite::PoolAlloc, f64::from(pool_millis) / 1000.0);
+        z.set_fault_plan(&Arc::new(plan));
+
+        let class = PageClass::ALL[class_idx];
+        let mut page = vec![0u8; 4096];
+        let mut live = Vec::new();
+        for (n, &id) in ids.iter().enumerate() {
+            class.fill(content_seed, n as u64, &mut page);
+            match z.store(id, &page) {
+                Ok(s) => live.push((id, s, n as u64)),
+                // Honest rejection or an injected fault: the page simply
+                // stays uncompressed; the tier must remain consistent.
+                Err(ZswapError::Incompressible | ZswapError::CompressFailed) => {}
+                Err(ZswapError::Pool(tierscape::zpool::PoolError::OutOfMemory)) => {}
+                Err(e) => prop_assert!(false, "store: {e}"),
+            }
+            let tier = z.tier(id).unwrap();
+            let (stats, pool) = (tier.stats(), tier.pool_stats());
+            prop_assert_eq!(stats.compressed_bytes, pool.stored_bytes);
+            prop_assert!(
+                pool.stored_bytes <= pool.pool_bytes(),
+                "{} payload bytes in {} backing bytes",
+                pool.stored_bytes,
+                pool.pool_bytes()
+            );
+        }
+        // Every page the subsystem *accepted* still round-trips exactly.
+        for (id, s, n) in live {
+            class.fill(content_seed, n, &mut page);
+            let got = z.load(id, s).expect("accepted page is live");
+            prop_assert_eq!(&got, &page, "tier {:?} corrupted the page", id);
+        }
+        prop_assert_eq!(z.total_pages(), 0);
+    }
+
     /// Two threads racing `invalidate` on the same handles (while a third
     /// keeps storing into another shard) free each page exactly once: the
     /// loser gets a clean error, never a double-free or corrupted stats.
