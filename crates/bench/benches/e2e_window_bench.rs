@@ -57,6 +57,31 @@ fn bench_window(c: &mut Criterion) {
             )
         });
     }
+    // Same window with the ts-obs registry recording: the gap between this
+    // and `am_tco` is the observability overhead (acceptance: < 5 %).
+    g.bench_with_input(BenchmarkId::from_parameter("am_tco_obs"), &(), |b, _| {
+        b.iter_batched(
+            || {
+                let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, 7);
+                let rss = w.rss_bytes();
+                let system =
+                    TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, 7), w)
+                        .expect("valid setup");
+                let policy: Box<dyn PlacementPolicy> = Box::new(AnalyticalModel::am_tco());
+                (system, policy)
+            },
+            |(mut system, mut policy)| {
+                let cfg = DaemonConfig {
+                    window_accesses: 20_000,
+                    windows: 1,
+                    obs: ObsConfig::enabled(),
+                    ..DaemonConfig::default()
+                };
+                black_box(run_daemon(&mut system, policy.as_mut(), &cfg))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     g.finish();
 }
 

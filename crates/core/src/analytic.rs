@@ -40,6 +40,7 @@ pub struct AnalyticalModel {
     /// Solver placement (Fig. 14).
     pub site: SolverSite,
     last_cost_ns: f64,
+    last_iterations: u64,
     label: Option<String>,
     /// Lazily spawned solver thread for [`SolverSite::Remote`].
     service: Option<SolverService>,
@@ -54,6 +55,7 @@ impl AnalyticalModel {
             alpha: alpha.clamp(0.0, 1.0),
             site: SolverSite::Local,
             last_cost_ns: 0.0,
+            last_iterations: 0,
             label: None,
             service: None,
             content_aware: false,
@@ -188,6 +190,7 @@ impl PlacementPolicy for AnalyticalModel {
                     .expect("budget >= TCO_min by construction, so always feasible")
             }
         };
+        self.last_iterations = solution.iterations;
         let plan = solution
             .choice
             .iter()
@@ -209,6 +212,10 @@ impl PlacementPolicy for AnalyticalModel {
 
     fn plan_cost_is_local(&self) -> bool {
         self.site == SolverSite::Local
+    }
+
+    fn last_solver_iterations(&self) -> u64 {
+        self.last_iterations
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::filter::{FilterState, MigrationFilter};
 use crate::policy::PlacementPolicy;
+use ts_obs::{ObsConfig, SpanTimer};
 use ts_sim::{FaultCounters, FaultPlan, PerfReport, PlannedMove, TcoReport, TieredSystem};
 use ts_telemetry::{AccessBitScanner, DamonRegions, Profiler, TelemetryConfig, TelemetrySource};
 
@@ -59,6 +60,11 @@ pub struct DaemonConfig {
     /// the next tier down, and pressure-spiked tiers accept no
     /// migrations for the window.
     pub fault_plan: Option<FaultPlan>,
+    /// Observability (ts-obs). Disabled by default — the daemon then runs
+    /// byte-identically to builds without the layer. When enabled, the run
+    /// records counters, gauges, histograms and spans into a
+    /// [`ts_obs::Registry`] returned via [`RunReport::obs`].
+    pub obs: ObsConfig,
 }
 
 impl Default for DaemonConfig {
@@ -78,6 +84,7 @@ impl Default for DaemonConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             fault_plan: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -124,6 +131,11 @@ pub struct RunReport {
     pub profiling_ns: f64,
     /// Total per-site fault events injected/handled over the run.
     pub faults: FaultCounters,
+    /// Metrics/span registry, present when [`DaemonConfig::obs`] was
+    /// enabled. Serialize with [`ts_obs::Registry::snapshot_json`] (metrics
+    /// artifact, deterministic) or [`ts_obs::Registry::trace_jsonl`] (span
+    /// trace, includes host wall-clock).
+    pub obs: Option<ts_obs::Registry>,
 }
 
 impl RunReport {
@@ -176,6 +188,9 @@ pub fn run_daemon(
     if let Some(plan) = &cfg.fault_plan {
         system.set_fault_plan(plan.clone());
     }
+    if cfg.obs.enabled {
+        system.install_obs();
+    }
     let mut filter_state = FilterState::default();
     let mut windows = Vec::with_capacity(cfg.windows as usize);
     let mut profiling_charged = 0.0f64;
@@ -191,6 +206,10 @@ pub fn run_daemon(
             cfg.window_accesses.min(budget)
         };
         budget -= this_window;
+        if let Some(obs) = system.obs_mut() {
+            obs.set_window(w);
+        }
+        let t_profile = SpanTimer::new();
         for _ in 0..this_window {
             let (access, _) = system.step();
             profiler.record(access.addr, access.is_store);
@@ -200,6 +219,16 @@ pub fn run_daemon(
         let prof_ns = profiler.cost_ns() - profiling_charged;
         profiling_charged = profiler.cost_ns();
         system.charge_daemon_ns(prof_ns);
+        let hotness_total: f64 = snapshot.iter().map(|(_, h)| h).sum();
+        if let Some(obs) = system.obs_mut() {
+            obs.span(
+                "window.profile",
+                "daemon",
+                &t_profile,
+                prof_ns,
+                &[("accesses", this_window as f64)],
+            );
+        }
 
         let nplacements = system.placements().len();
         let mut rec = vec![0u64; nplacements];
@@ -208,13 +237,29 @@ pub fn run_daemon(
         let mut solver_cost = 0.0f64;
 
         if !cfg.profile_only {
+            let t_plan = SpanTimer::new();
             let plan = policy.plan(&snapshot, system);
             solver_cost = policy.last_plan_cost_ns();
+            let solver_iters = policy.last_solver_iterations();
             if policy.plan_cost_is_local() {
                 system.charge_daemon_ns(solver_cost);
             } else {
                 // Remote site: only the shipping cost hits this machine.
                 system.charge_daemon_ns(policy.last_plan_cost_ns().min(50_000.0));
+            }
+            if let Some(obs) = system.obs_mut() {
+                obs.span(
+                    "window.plan",
+                    "daemon",
+                    &t_plan,
+                    solver_cost,
+                    &[
+                        ("entries", plan.len() as f64),
+                        ("iterations", solver_iters as f64),
+                    ],
+                );
+                obs.add("solver.iterations", solver_iters);
+                obs.observe("window.solver_cost_ns", solver_cost);
             }
             // Recommended page counts (before the filter: this is the raw
             // model output, Fig. 9a).
@@ -230,6 +275,7 @@ pub fn run_daemon(
             // Capacity-pressure fault spikes degrade the plan: a spiked
             // tier accepts no migrations this window. Empty without an
             // active plan, making this a no-op in fault-free runs.
+            let t_filter = SpanTimer::new();
             let spiked = system.draw_pressure_spikes();
             let filtered = cfg
                 .filter
@@ -241,9 +287,35 @@ pub fn run_daemon(
                     dest: e.dest,
                 })
                 .collect();
+            if let Some(obs) = system.obs_mut() {
+                obs.span(
+                    "window.filter",
+                    "daemon",
+                    &t_filter,
+                    0.0,
+                    &[
+                        ("planned", plan.len() as f64),
+                        ("kept", moves.len() as f64),
+                        ("spiked_tiers", spiked.len() as f64),
+                    ],
+                );
+            }
+            let t_exec = SpanTimer::new();
             let report = system.execute_plan(&moves, cfg.migration_workers);
             migrations += report.regions_moved;
             migration_cost += report.cost_ns;
+            if let Some(obs) = system.obs_mut() {
+                obs.span(
+                    "window.execute",
+                    "daemon",
+                    &t_exec,
+                    report.cost_ns,
+                    &[
+                        ("moves", moves.len() as f64),
+                        ("moved", report.regions_moved as f64),
+                    ],
+                );
+            }
         } else {
             // Profile-only: recommendation equals current placement.
             rec = system.placement_counts();
@@ -260,6 +332,15 @@ pub fn run_daemon(
         let tier_faults = (0..system.config().compressed_tiers.len())
             .map(|i| system.tier_stats(i).faults)
             .collect();
+        if system.obs().is_some() {
+            system.obs_record_window();
+        }
+        if let Some(obs) = system.obs_mut() {
+            obs.inc("daemon.windows");
+            obs.add("daemon.migrations", migrations);
+            obs.gauge_set("window.hotness", hotness_total);
+            obs.observe("window.migration_cost_ns", migration_cost);
+        }
         windows.push(WindowRecord {
             window: w,
             recommended: rec,
@@ -269,7 +350,7 @@ pub fn run_daemon(
             migrations,
             migration_cost_ns: migration_cost,
             solver_cost_ns: solver_cost,
-            hotness_total: snapshot.iter().map(|(_, h)| h).sum(),
+            hotness_total,
             faults: system.fault_counters(),
         });
     }
@@ -286,6 +367,7 @@ pub fn run_daemon(
         daemon_ns: system.daemon_ns(),
         profiling_ns: profiling_charged,
         faults: system.fault_counters(),
+        obs: system.take_obs(),
     }
 }
 

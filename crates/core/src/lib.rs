@@ -59,6 +59,7 @@ pub mod prelude {
     pub use crate::tierselect::{TempBucket, TierChoice, TierSelector, WorkloadProfile};
     pub use crate::waterfall::WaterfallModel;
     pub use ts_faults::{FaultCounters, FaultPlan, FaultSite, TierError};
+    pub use ts_obs::{ObsConfig, Registry, SpanTimer};
 }
 
 pub use prelude::*;

@@ -42,6 +42,14 @@ pub trait PlacementPolicy: Send {
     fn plan_cost_is_local(&self) -> bool {
         true
     }
+
+    /// Solver-effort units the last [`PlacementPolicy::plan`] call spent
+    /// (greedy step examinations, DP relaxations, simplex pivots or
+    /// branch-and-bound nodes — whatever the backing solver counts). Zero
+    /// for trivial policies; feeds the `solver.iterations` metric.
+    fn last_solver_iterations(&self) -> u64 {
+        0
+    }
 }
 
 /// Hotness of every region (zero for never-sampled regions), plus the value

@@ -83,6 +83,10 @@ impl<P: PlacementPolicy> PlacementPolicy for PrefetchingPolicy<P> {
     fn plan_cost_is_local(&self) -> bool {
         self.inner.plan_cost_is_local()
     }
+
+    fn last_solver_iterations(&self) -> u64 {
+        self.inner.last_solver_iterations()
+    }
 }
 
 #[cfg(test)]

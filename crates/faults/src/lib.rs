@@ -268,6 +268,16 @@ impl FaultCounters {
         FaultSite::ALL.iter().map(|&s| self.get(s)).sum()
     }
 
+    /// `(site name, count)` pairs in [`FaultSite::ALL`] order — the
+    /// deterministic enumeration the observability layer snapshots into
+    /// its `faults.<site>` counters.
+    pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+        FaultSite::ALL
+            .iter()
+            .map(|&s| (s.name(), self.get(s)))
+            .collect()
+    }
+
     /// Per-site difference `self - earlier` (saturating), for carving a
     /// window or plan-execution delta out of cumulative counters.
     pub fn since(&self, earlier: FaultCounters) -> FaultCounters {
@@ -306,7 +316,8 @@ mod tests {
         }
         // A different seed gives a different trip pattern.
         let q = FaultPlan::uniform(43, 0.3);
-        let differs = (0..256u64).any(|k| p.trips(FaultSite::ZswapStore, k) != q.trips(FaultSite::ZswapStore, k));
+        let differs = (0..256u64)
+            .any(|k| p.trips(FaultSite::ZswapStore, k) != q.trips(FaultSite::ZswapStore, k));
         assert!(differs, "seed must perturb trip decisions");
     }
 
@@ -374,8 +385,14 @@ mod tests {
         assert_eq!(TierError::PoolExhausted.site(), FaultSite::PoolAlloc);
         assert_eq!(TierError::CompressFailed.site(), FaultSite::ZswapStore);
         assert_eq!(TierError::MigrationAborted.site(), FaultSite::MigrationCopy);
-        assert_eq!(TierError::CapacityPressure.site(), FaultSite::CapacityPressure);
-        assert_eq!(format!("{}", TierError::PoolExhausted), "pool capacity exhausted");
+        assert_eq!(
+            TierError::CapacityPressure.site(),
+            FaultSite::CapacityPressure
+        );
+        assert_eq!(
+            format!("{}", TierError::PoolExhausted),
+            "pool capacity exhausted"
+        );
         assert_eq!(FaultSite::PoolAlloc.name(), "pool_alloc");
     }
 }

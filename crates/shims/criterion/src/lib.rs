@@ -7,9 +7,45 @@
 //! with a simple wall-clock measurement loop instead of criterion's
 //! statistical machinery. Reports mean and best ns/iter per benchmark.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results accumulated by [`run_one`], drained by [`finalize`].
+/// `(label, mean_ns, best_ns, samples)` per finished benchmark.
+static RESULTS: Mutex<Vec<(String, f64, f64, usize)>> = Mutex::new(Vec::new());
+
+/// Write every benchmark result recorded so far as a JSON artifact to the
+/// path named by the `TS_BENCH_OUT` environment variable (no-op when the
+/// variable is unset). Called automatically by [`criterion_main!`]-generated
+/// mains after all groups finish, so CI can collect e.g. `BENCH_e2e.json`.
+pub fn finalize() {
+    let Ok(path) = std::env::var("TS_BENCH_OUT") else {
+        return;
+    };
+    let rows = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("[\n");
+    for (i, (label, mean, best, samples)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let esc: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{esc}\", \"mean_ns\": {mean}, \"best_ns\": {best}, \"samples\": {samples}}}"
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
 
 /// Top-level harness configuration and entry point.
 #[derive(Debug, Clone)]
@@ -213,7 +249,8 @@ impl Bencher<'_> {
             for _ in 0..iters_per_sample {
                 black_box(f());
             }
-            self.samples.push((start.elapsed().as_nanos(), iters_per_sample));
+            self.samples
+                .push((start.elapsed().as_nanos(), iters_per_sample));
         }
     }
 
@@ -256,9 +293,18 @@ fn run_one(
         .collect();
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let best = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push((
+        label.to_string(),
+        mean,
+        best,
+        per_iter.len(),
+    ));
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => {
-            format!("  {:>10.1} MiB/s", n as f64 / (mean / 1e9) / (1024.0 * 1024.0))
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / (mean / 1e9) / (1024.0 * 1024.0)
+            )
         }
         Some(Throughput::Elements(n)) => {
             format!("  {:>10.1} elem/s", n as f64 / (mean / 1e9))
@@ -293,6 +339,8 @@ macro_rules! criterion_main {
             // Accept and ignore harness CLI flags (e.g. `--bench`).
             let _args: Vec<String> = std::env::args().collect();
             $( $group(); )+
+            // Emit the JSON artifact when TS_BENCH_OUT is set.
+            $crate::finalize();
         }
     };
 }

@@ -11,6 +11,7 @@ use crate::{Fidelity, Placement, SimConfig, SimError, SimResult};
 use std::sync::Arc;
 use ts_faults::{FaultCounters, FaultPlan, FaultSite, TierError};
 use ts_mem::{Machine, MediaKind, MediaSpec, PAGE_SIZE};
+use ts_obs::{Registry, SpanTimer, WorkerSink};
 use ts_workloads::{Access, Workload};
 use ts_zpool::{PoolError, PoolKind};
 use ts_zswap::{StoredPage, SwapDevice, TierId, ZswapError, ZswapSubsystem};
@@ -132,6 +133,9 @@ enum JobOut {
     Faulted,
 }
 
+/// One batch's phase-A job results plus its thread-scoped metrics sink.
+type BatchOut = (Vec<Result<JobOut, ZswapError>>, WorkerSink);
+
 /// How one page of a plan is executed.
 enum Disposition {
     /// Already at the destination — nothing to do.
@@ -225,6 +229,10 @@ pub struct TieredSystem {
     /// Serial draw counter keying sim-level fault decisions; only ever
     /// advanced on serial paths, so runs are scheduling-independent.
     fault_nonce: u64,
+    /// Installed metrics registry (None = observability off, zero cost).
+    /// Boxed to keep the hot struct small; recorded values are pure
+    /// functions of the run configuration (see ts-obs).
+    obs: Option<Box<Registry>>,
 }
 
 impl TieredSystem {
@@ -305,7 +313,94 @@ impl TieredSystem {
             faults: None,
             fault_counters: FaultCounters::default(),
             fault_nonce: 0,
+            obs: None,
         })
+    }
+
+    /// Install a fresh metrics registry; instrumented paths (migration
+    /// engine, window snapshots) record into it until [`Self::take_obs`].
+    pub fn install_obs(&mut self) {
+        self.obs = Some(Box::default());
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn obs(&self) -> Option<&Registry> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the installed metrics registry, if any.
+    pub fn obs_mut(&mut self) -> Option<&mut Registry> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Remove and return the registry (observability off afterwards).
+    pub fn take_obs(&mut self) -> Option<Registry> {
+        self.obs.take().map(|b| *b)
+    }
+
+    /// Snapshot window-end simulator state into the registry: per-tier
+    /// occupancy/ratio/fault counters, zswap-side tier and pool stats
+    /// (`Real` fidelity), swap-device state, fault-site counters and the
+    /// daemon-tax account. Counters use monotonic `counter_max` because the
+    /// underlying statistics are cumulative. No-op without a registry.
+    pub fn obs_record_window(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        let nct = self.cfg.compressed_tiers.len();
+        let rows: Vec<(SimTierStats, u64, f64)> = (0..nct)
+            .map(|i| {
+                (
+                    self.tier_stats[i],
+                    self.tier_pool_bytes(i),
+                    self.tier_effective_ratio(i),
+                )
+            })
+            .collect();
+        let zrows = self.zswap.as_ref().map(|z| z.obs_snapshot());
+        let resident = self.resident.clone();
+        let (swap_pages, swap_bytes, swap_faults) =
+            (self.swap_pages, self.swap_bytes, self.swap_faults);
+        let fc = self.fault_counters;
+        let (daemon_ns, accesses) = (self.daemon_ns, self.accesses);
+        let tco = self.current_tco();
+        let obs = self.obs.as_deref_mut().expect("checked above");
+        for (i, (s, pool, ratio)) in rows.iter().enumerate() {
+            let p = format!("tier.ct{i}");
+            obs.gauge_set(&format!("{p}.pages"), s.pages as f64);
+            obs.gauge_set(&format!("{p}.comp_bytes"), s.comp_bytes as f64);
+            obs.gauge_set(&format!("{p}.pool_bytes"), *pool as f64);
+            obs.gauge_set(&format!("{p}.ratio"), *ratio);
+            obs.counter_max(&format!("{p}.stores"), s.stores);
+            obs.counter_max(&format!("{p}.faults"), s.faults);
+            obs.counter_max(&format!("{p}.rejections"), s.rejections);
+            obs.counter_max(&format!("{p}.writebacks"), s.writebacks);
+        }
+        if let Some(zrows) = zrows {
+            for (i, (ts, ps)) in zrows.iter().enumerate() {
+                let p = format!("zswap.ct{i}");
+                obs.counter_max(&format!("{p}.stores"), ts.stores);
+                obs.counter_max(&format!("{p}.faults"), ts.faults);
+                obs.counter_max(&format!("{p}.same_filled"), ts.same_filled);
+                obs.counter_max(&format!("{p}.compress_failures"), ts.compress_failures);
+                obs.counter_max(&format!("{p}.pool_loads"), ps.loads);
+                obs.counter_max(&format!("{p}.pool_ops"), ps.ops_total());
+                obs.gauge_set(&format!("{p}.pool_density"), ps.density());
+            }
+        }
+        obs.gauge_set("tier.dram.pages", resident[0] as f64);
+        for (i, r) in resident.iter().enumerate().skip(1) {
+            obs.gauge_set(&format!("tier.bt{}.pages", i - 1), *r as f64);
+        }
+        obs.gauge_set("swap.pages", swap_pages as f64);
+        obs.gauge_set("swap.bytes", swap_bytes as f64);
+        obs.counter_max("swap.faults", swap_faults);
+        for (name, v) in fc.as_pairs() {
+            obs.counter_max(&format!("faults.{name}"), v);
+        }
+        obs.gauge_set("daemon.tax_ns", daemon_ns);
+        obs.counter_max("sim.accesses", accesses);
+        obs.gauge_set("window.tco_now", tco);
     }
 
     /// Install a deterministic fault-injection plan. In `Real` fidelity
@@ -930,9 +1025,7 @@ impl TieredSystem {
                             self.fault_counters.bump(FaultSite::ZswapStore);
                             return Err(SimError::Tier(TierError::CompressFailed));
                         }
-                        Err(ZswapError::Pool(PoolError::OutOfMemory))
-                            if self.faults.is_some() =>
-                        {
+                        Err(ZswapError::Pool(PoolError::OutOfMemory)) if self.faults.is_some() => {
                             self.fault_counters.bump(FaultSite::PoolAlloc);
                             return Err(SimError::Tier(TierError::PoolExhausted));
                         }
@@ -1224,7 +1317,12 @@ impl TieredSystem {
                         });
                         batches[b].1.push(j);
                         let ji = batches[b].1.len() - 1;
-                        plan_pages.push((ei, vpage, res, Disposition::Parallel { batch: b, job: ji }));
+                        plan_pages.push((
+                            ei,
+                            vpage,
+                            res,
+                            Disposition::Parallel { batch: b, job: ji },
+                        ));
                     }
                     None => plan_pages.push((ei, vpage, res, Disposition::Serial)),
                 }
@@ -1235,29 +1333,51 @@ impl TieredSystem {
         // Phase A: run the batches' zswap work on the worker pool. One
         // worker owns a batch end to end, so every destination tier has a
         // single writer; source tiers are only read. Results land in a
-        // slot per batch — merged by identity, not completion order.
-        let results: Vec<Vec<Result<JobOut, ZswapError>>> = if batches.is_empty() {
+        // slot per batch — merged by identity, not completion order. Each
+        // batch also fills a thread-scoped metrics sink (plain field bumps,
+        // no locks on the page-copy path); only the sink's wall-clock is
+        // host-dependent, and that never reaches the metrics snapshot.
+        let results: Vec<BatchOut> = if batches.is_empty() {
             Vec::new()
         } else {
-            let z = self.zswap.as_ref().expect("batched jobs imply Real fidelity");
+            let z = self
+                .zswap
+                .as_ref()
+                .expect("batched jobs imply Real fidelity");
             let ids = &self.zswap_ids;
             let wl: &dyn Workload = self.workload.as_ref();
-            let run_batch = |jobs: &[PageJob]| -> Vec<Result<JobOut, ZswapError>> {
+            let run_batch = |jobs: &[PageJob]| -> BatchOut {
+                let timer = SpanTimer::new();
+                let mut sink = WorkerSink::default();
                 let mut buf = vec![0u8; PAGE_SIZE];
-                jobs.iter()
-                    .map(|job| match *job {
-                        PageJob::CtoC { from, to, stored } => z
-                            .migrate_copy(ids[from as usize], ids[to as usize], stored)
-                            .map(JobOut::Copied),
-                        PageJob::Store { vpage, to } => {
-                            wl.fill_page(vpage, &mut buf);
-                            z.store(ids[to as usize], &buf).map(JobOut::Stored)
+                let out = jobs
+                    .iter()
+                    .map(|job| {
+                        let r = match *job {
+                            PageJob::CtoC { from, to, stored } => z
+                                .migrate_copy(ids[from as usize], ids[to as usize], stored)
+                                .map(JobOut::Copied),
+                            PageJob::Store { vpage, to } => {
+                                wl.fill_page(vpage, &mut buf);
+                                z.store(ids[to as usize], &buf).map(JobOut::Stored)
+                            }
+                            PageJob::Fault { from, stored } => z
+                                .fault_copy(ids[from as usize], stored)
+                                .map(|_| JobOut::Faulted),
+                        };
+                        match &r {
+                            Ok(JobOut::Copied(m)) => {
+                                sink.record_store(m.stored.compressed_len as u64)
+                            }
+                            Ok(JobOut::Stored(s)) => sink.record_store(s.compressed_len as u64),
+                            Ok(JobOut::Faulted) => sink.record_fault(),
+                            Err(_) => sink.record_failure(),
                         }
-                        PageJob::Fault { from, stored } => z
-                            .fault_copy(ids[from as usize], stored)
-                            .map(|_| JobOut::Faulted),
+                        r
                     })
-                    .collect()
+                    .collect();
+                sink.wall_ns = timer.elapsed_ns();
+                (out, sink)
             };
             if workers == 1 || batches.len() == 1 {
                 batches.iter().map(|(_, jobs)| run_batch(jobs)).collect()
@@ -1278,7 +1398,7 @@ impl TieredSystem {
                             })
                         })
                         .collect();
-                    let mut merged: Vec<Option<Vec<Result<JobOut, ZswapError>>>> =
+                    let mut merged: Vec<Option<BatchOut>> =
                         (0..batches_ref.len()).map(|_| None).collect();
                     for h in handles {
                         for (i, r) in h.join().expect("migration worker panicked") {
@@ -1299,28 +1419,34 @@ impl TieredSystem {
         let mut serial_extra = 0.0f64;
         let mut tail_ns = 0.0f64;
         let mut entry_moved = vec![false; moves.len()];
+        let mut serial_pages = 0u64;
+        let mut skipped_pages = 0u64;
+        let mut aborted_pages = 0u64;
 
         for (ei, vpage, snap, disp) in plan_pages {
             let dest = moves[ei].dest;
             match disp {
-                Disposition::Skip => {}
+                Disposition::Skip => skipped_pages += 1,
                 // Repair for an aborted page: it kept its source placement
                 // and the report counts it neither moved nor rejected, so
                 // the accounting stays exact.
-                Disposition::Aborted => {}
-                Disposition::Serial => match self.migrate_page(vpage, dest) {
-                    Ok(c) => {
-                        if c > 0.0 {
-                            report.moved += 1;
-                            entry_moved[ei] = true;
+                Disposition::Aborted => aborted_pages += 1,
+                Disposition::Serial => {
+                    serial_pages += 1;
+                    match self.migrate_page(vpage, dest) {
+                        Ok(c) => {
+                            if c > 0.0 {
+                                report.moved += 1;
+                                entry_moved[ei] = true;
+                            }
+                            tail_ns += c;
                         }
-                        tail_ns += c;
+                        Err(_) => report.rejected += 1,
                     }
-                    Err(_) => report.rejected += 1,
-                },
+                }
                 Disposition::Parallel { batch, job } => {
                     let stale = self.pages[vpage as usize] != snap;
-                    match (&results[batch][job], stale) {
+                    match (&results[batch].0[job], stale) {
                         // An earlier entry's pool-limit writeback evicted
                         // this page to swap after the snapshot: the copy
                         // phase-A made is an orphan. Roll it back and take
@@ -1489,6 +1615,39 @@ impl TieredSystem {
         report.cost_ns = engine_ns + tail_ns;
         report.regions_moved = entry_moved.iter().filter(|&&m| m).count() as u64;
         report.faults = self.fault_counters.since(faults_before);
+
+        // Record the plan into the metrics registry. Per-batch sinks merge
+        // in batch-identity order (destination first-appearance order in
+        // the plan), so the registry — like the report — is bit-identical
+        // at any worker count; only span wall-clocks vary, and those stay
+        // out of the snapshot artifact by construction.
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.inc("migrate.plans");
+            obs.add("migrate.pages_moved", report.moved);
+            obs.add("migrate.pages_rejected", report.rejected);
+            obs.add("migrate.regions_moved", report.regions_moved);
+            obs.add("migrate.batches", report.batches as u64);
+            obs.add("migrate.serial_pages", serial_pages);
+            obs.add("migrate.skipped_pages", skipped_pages);
+            obs.add("migrate.aborted_pages", aborted_pages);
+            obs.add("migrate.faults_injected", report.faults.total());
+            obs.gauge_add("migrate.stall_ns", report.stall_ns);
+            if !moves.is_empty() {
+                obs.observe("migrate.plan_cost_ns", report.cost_ns);
+            }
+            for (b, (dest, jobs)) in batches.iter().enumerate() {
+                let scope = dest.to_string();
+                let sink = &results[b].1;
+                obs.span_raw(
+                    "migrate.batch",
+                    &scope,
+                    sink.wall_ns,
+                    busy[b],
+                    &[("jobs", jobs.len() as f64)],
+                );
+                obs.merge_sink(&scope, sink);
+            }
+        }
         report
     }
 

@@ -64,6 +64,10 @@ pub struct MckpSolution {
     pub tco_cost: f64,
     /// Whether the solution is provably optimal.
     pub exact: bool,
+    /// Solver effort: upgrade-step examinations (greedy) or DP cell
+    /// relaxations (exact). Deterministic for a given instance, so it can
+    /// feed snapshot-diffed metrics (Fig. 14's solver-cost accounting).
+    pub iterations: u64,
 }
 
 impl MckpProblem {
@@ -165,6 +169,7 @@ impl MckpProblem {
         }
         steps.sort_by(|a, b| b.eff.partial_cmp(&a.eff).expect("finite efficiencies"));
 
+        let mut iterations = steps.len() as u64;
         let mut skipped_any = false;
         for s in &steps {
             // In-group order: only apply if it is the next level for its
@@ -184,6 +189,7 @@ impl MckpProblem {
         // were rejected too; do passes until fixpoint.
         loop {
             let mut progressed = false;
+            iterations += steps.len() as u64;
             for s in &steps {
                 if level[s.group] + 1 == s.to_level && tco + s.d_tco <= self.budget + 1e-9 {
                     tco += s.d_tco;
@@ -203,6 +209,7 @@ impl MckpProblem {
             perf_cost: perf,
             tco_cost: tco,
             exact: !skipped_any,
+            iterations,
         })
     }
 
@@ -251,6 +258,7 @@ impl MckpProblem {
         let mut parent: Vec<Vec<u32>> = Vec::with_capacity(self.groups.len());
         dp[0] = 0.0;
         let mut reachable_max = 0usize;
+        let mut iterations = 0u64;
         for g in &self.groups {
             let mut ndp = vec![INF; budget_units + 1];
             let mut par = vec![u32::MAX; budget_units + 1];
@@ -261,6 +269,7 @@ impl MckpProblem {
                     continue;
                 }
                 for (ii, item) in g.iter().enumerate() {
+                    iterations += 1;
                     let nb = b + quant(item.tco_cost);
                     if nb <= budget_units {
                         let np = cur + item.perf_cost;
@@ -305,6 +314,7 @@ impl MckpProblem {
             perf_cost: perf,
             tco_cost: tco,
             exact: true,
+            iterations,
         })
     }
 }

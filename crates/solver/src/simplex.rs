@@ -46,6 +46,10 @@ pub struct LpSolution {
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub objective: f64,
+    /// Total simplex pivots across phase 1, artificial drive-out and
+    /// phase 2. Deterministic under Bland's rule, so suitable for
+    /// snapshot-diffed solver-effort metrics.
+    pub pivots: u64,
 }
 
 const EPS: f64 = 1e-9;
@@ -154,12 +158,14 @@ impl LinearProgram {
         }
 
         // Phase 1: minimize sum of artificials == maximize -(sum of artificials).
+        let mut pivots = 0u64;
         if n_art > 0 {
             let mut obj = vec![0.0f64; total];
             for &c in &art_cols {
                 obj[c] = -1.0;
             }
-            let val = run_simplex(&mut t, &mut basis, &obj, total)?;
+            let (val, p1) = run_simplex(&mut t, &mut basis, &obj, total)?;
+            pivots += p1;
             if val < -1e-7 {
                 return Err(SolverError::Infeasible);
             }
@@ -169,6 +175,7 @@ impl LinearProgram {
                     // Find a non-artificial pivot column in this row.
                     if let Some(j) = (0..n + n_slack).find(|&j| t[i][j].abs() > EPS) {
                         pivot(&mut t, &mut basis, i, j, total);
+                        pivots += 1;
                     }
                     // If none exists the row is all-zero (redundant): leave it.
                 }
@@ -180,7 +187,8 @@ impl LinearProgram {
         let mut obj = vec![0.0f64; total];
         obj[..n].copy_from_slice(&self.objective);
         let forbidden_from = n + n_slack;
-        let objective = run_simplex_bounded(&mut t, &mut basis, &obj, total, forbidden_from)?;
+        let (objective, p2) = run_simplex_bounded(&mut t, &mut basis, &obj, total, forbidden_from)?;
+        pivots += p2;
 
         let mut x = vec![0.0f64; n];
         for i in 0..m {
@@ -188,7 +196,11 @@ impl LinearProgram {
                 x[basis[i]] = t[i][total];
             }
         }
-        Ok(LpSolution { x, objective })
+        Ok(LpSolution {
+            x,
+            objective,
+            pivots,
+        })
     }
 }
 
@@ -218,23 +230,25 @@ fn run_simplex(
     basis: &mut [usize],
     obj: &[f64],
     total: usize,
-) -> Result<f64, SolverError> {
+) -> Result<(f64, u64), SolverError> {
     run_simplex_bounded(t, basis, obj, total, total)
 }
 
 /// Core simplex loop. Columns `>= forbidden_from` may never enter the basis
-/// (used to keep artificial variables out in phase 2).
+/// (used to keep artificial variables out in phase 2). Returns the objective
+/// value and the number of pivots performed.
 fn run_simplex_bounded(
     t: &mut [Vec<f64>],
     basis: &mut [usize],
     obj: &[f64],
     total: usize,
     forbidden_from: usize,
-) -> Result<f64, SolverError> {
+) -> Result<(f64, u64), SolverError> {
     let m = t.len();
     // Reduced-cost row z_j - c_j maintained implicitly: recompute each
-    // iteration (dense, simple; fine at our sizes).
-    for _ in 0..MAX_ITERS {
+    // iteration (dense, simple; fine at our sizes). Exactly one pivot
+    // happens per loop iteration, so `it` doubles as the pivot count.
+    for it in 0..MAX_ITERS {
         // cb = objective coefficients of basic variables.
         // reduced[j] = obj[j] - cb . column_j
         let mut entering = None;
@@ -259,7 +273,7 @@ fn run_simplex_bounded(
             for i in 0..m {
                 val += obj[basis[i]] * t[i][total];
             }
-            return Ok(val);
+            return Ok((val, it as u64));
         };
         // Ratio test (Bland: smallest basis index on ties).
         let mut leave: Option<usize> = None;

@@ -180,6 +180,13 @@ impl PoolStats {
         self.pool_pages * PAGE_SIZE as u64
     }
 
+    /// Total pool operations ever (stores + loads + removes); the cheap
+    /// single-number activity counter the observability layer snapshots
+    /// per window.
+    pub fn ops_total(&self) -> u64 {
+        self.stores + self.loads + self.removes
+    }
+
     /// Packing density: payload bytes per backing byte, in `[0, 1]`.
     ///
     /// Higher is better; zsmalloc approaches 1.0, zbud is bounded near the

@@ -437,6 +437,20 @@ impl ZswapSubsystem {
         self.tiers.iter().map(|t| t.read().stats().pages).sum()
     }
 
+    /// One observability row per tier, in tier-id order: the tier's own
+    /// statistics plus its pool's. Taking all rows under one pass gives
+    /// deterministic ordering for metrics snapshots (ts-obs); each tier is
+    /// read-locked only briefly and independently.
+    pub fn obs_snapshot(&self) -> Vec<(TierStats, ts_zpool::PoolStats)> {
+        self.tiers
+            .iter()
+            .map(|t| {
+                let g = t.read();
+                (g.stats(), g.pool_stats())
+            })
+            .collect()
+    }
+
     /// The machine this subsystem runs on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the pinned metrics-snapshot golden file that CI diffs exactly.
+#
+# Run this ONLY when a change intentionally alters the pinned scenario's
+# metrics (new counters, renamed spans, changed accounting) — then commit the
+# updated tests/golden/metrics_pinned.json alongside the change. The pinned
+# scenario is deterministic, so the file is byte-identical on every host and
+# at every --migration-workers setting; tests/obs.rs re-runs it in-process
+# and must agree with this artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --locked
+
+./target/release/tierscape-cli run \
+  --windows 6 --accesses 50000 \
+  --migration-workers 2 --fault-rate 0.1 \
+  --metrics-out tests/golden/metrics_pinned.json
+
+echo "updated tests/golden/metrics_pinned.json"

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Offline tier-1 gate: the full workspace test suite plus a warnings-as-errors
-# lint pass. Everything runs against the vendored in-repo dependency shims
-# (crates/shims/), so no network access is needed or attempted.
+# Offline tier-1 gate: formatting, the full workspace test suite and a
+# warnings-as-errors lint pass. Everything runs against the vendored in-repo
+# dependency shims (crates/shims/), so no network access is needed or
+# attempted; --locked guards against silent lockfile drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt (check) =="
+cargo fmt --all --check
+
 echo "== cargo test (offline) =="
-cargo test --workspace --offline
+cargo test --workspace --offline --locked
 
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 
 echo "verify: OK"

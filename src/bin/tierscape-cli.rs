@@ -27,6 +27,9 @@ fn usage() -> ! {
          \x20                   [--fault-rate R] [--fault-seed S] [--fault-plan FILE]\n\
          \x20                    (R > 0 injects deterministic faults at every site;\n\
          \x20                     seed defaults to --seed; FILE is a JSON FaultPlan)\n\
+         \x20                   [--metrics-out FILE]   (deterministic metrics JSON)\n\
+         \x20                   [--trace-out FILE]     (span trace JSONL, wall-clock)\n\
+         \x20                   [--metrics-summary]    (human-readable metrics table)\n\
          \x20 tierscape-cli advise [--workload NAME] [--tiers K]\n\
          \x20 tierscape-cli characterize\n"
     );
@@ -154,6 +157,12 @@ fn cmd_run(args: &Args) {
     } else if fault_rate > 0.0 {
         dcfg.fault_plan = Some(FaultPlan::uniform(fault_seed, fault_rate));
     }
+    let metrics_out = args.value("--metrics-out").map(String::from);
+    let trace_out = args.value("--trace-out").map(String::from);
+    let metrics_summary = args.flag("--metrics-summary");
+    if metrics_out.is_some() || trace_out.is_some() || metrics_summary {
+        dcfg.obs = ObsConfig::enabled();
+    }
     let report = run_daemon(&mut system, policy.as_mut(), &dcfg);
 
     println!(
@@ -181,6 +190,25 @@ fn cmd_run(args: &Args) {
             report.faults.total()
         );
     }
+    if let Some(obs) = &report.obs {
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, obs.snapshot_json()) {
+                eprintln!("cannot write metrics to '{path}': {e}");
+                std::process::exit(1);
+            }
+            println!("metrics written to {path}");
+        }
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, obs.trace_jsonl()) {
+                eprintln!("cannot write trace to '{path}': {e}");
+                std::process::exit(1);
+            }
+            println!("trace written to {path}");
+        }
+        if metrics_summary {
+            println!("\n{}", obs.summary());
+        }
+    }
 }
 
 /// Adapter: `PrefetchingPolicy<P>` needs `P: PlacementPolicy`, and a boxed
@@ -203,6 +231,9 @@ impl PlacementPolicy for BoxedPolicy {
     }
     fn plan_cost_is_local(&self) -> bool {
         self.0.plan_cost_is_local()
+    }
+    fn last_solver_iterations(&self) -> u64 {
+        self.0.last_solver_iterations()
     }
 }
 

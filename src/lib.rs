@@ -16,6 +16,7 @@
 //! * [`solver`] — LP/ILP and multiple-choice knapsack solvers.
 //! * [`sim`] — tiered-memory system simulator (fault path, migration, TCO).
 //! * [`workloads`] — workload generators and corpus synthesizers.
+//! * [`obs`] — deterministic observability: metrics, spans, run artifacts.
 //! * [`core`] — the TierScape placement models and TS-Daemon.
 //!
 //! # Examples
@@ -30,6 +31,7 @@
 
 pub use ts_compress as compress;
 pub use ts_mem as mem;
+pub use ts_obs as obs;
 pub use ts_sim as sim;
 pub use ts_solver as solver;
 pub use ts_telemetry as telemetry;

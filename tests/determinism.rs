@@ -108,7 +108,15 @@ fn run_with_workers(
     window_accesses: u64,
     seed: u64,
 ) -> RunReport {
-    run_with_workers_plan(wl, fidelity, mk_policy, workers, window_accesses, seed, None)
+    run_with_workers_plan(
+        wl,
+        fidelity,
+        mk_policy,
+        workers,
+        window_accesses,
+        seed,
+        None,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -206,8 +214,15 @@ fn fault_injection_identical_across_worker_counts() {
                 wl.name()
             );
             for &workers in &WORKER_COUNTS[1..] {
-                let other =
-                    run_with_workers_plan(wl, fidelity, mk, workers, accesses, 7, Some(plan.clone()));
+                let other = run_with_workers_plan(
+                    wl,
+                    fidelity,
+                    mk,
+                    workers,
+                    accesses,
+                    7,
+                    Some(plan.clone()),
+                );
                 let label = format!("faulty {} {fidelity:?} workers=1 vs {workers}", wl.name());
                 assert_identical(&base, &other, &label);
             }

@@ -1,0 +1,149 @@
+//! The ts-obs observability layer end to end: the metrics artifact must be
+//! byte-identical across migration worker counts (the CI metrics-snapshot
+//! job diffs it exactly), must match the checked-in golden file for the
+//! pinned scenario, and its counters/spans must reconcile with the
+//! [`RunReport`]'s own accounting.
+
+use tierscape::core::prelude::*;
+use tierscape::sim::{Fidelity, SimConfig, TieredSystem};
+use tierscape::workloads::{Scale, WorkloadId};
+
+/// The pinned CI scenario, exactly as `scripts/update-golden.sh` runs it:
+/// `tierscape-cli run --windows 6 --accesses 50000 --migration-workers 2
+/// --fault-rate 0.1 --metrics-out ...` with every other flag defaulted.
+fn pinned_run(workers: usize) -> RunReport {
+    let workload = WorkloadId::MemcachedYcsb.build(Scale(1.0 / 1024.0), 42);
+    let rss = workload.rss_bytes();
+    let cfg = SimConfig::standard_mix(rss, Fidelity::Modeled, 42).with_compute_ns(200.0);
+    let mut system = TieredSystem::new(cfg, workload).expect("valid configuration");
+    let mut policy = AnalyticalModel::new(0.2);
+    let dcfg = DaemonConfig {
+        windows: 6,
+        window_accesses: 50_000,
+        migration_workers: workers,
+        fault_plan: Some(FaultPlan::uniform(42, 0.1)),
+        obs: ObsConfig::enabled(),
+        ..DaemonConfig::default()
+    };
+    run_daemon(&mut system, &mut policy, &dcfg)
+}
+
+#[test]
+fn snapshot_matches_checked_in_golden() {
+    let report = pinned_run(2);
+    let snapshot = report.obs.expect("obs enabled").snapshot_json();
+    let path = format!(
+        "{}/tests/golden/metrics_pinned.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read_to_string(&path).expect("golden file present");
+    assert_eq!(
+        snapshot, golden,
+        "metrics snapshot drifted from {path}; if the change is intended, \
+         regenerate with scripts/update-golden.sh"
+    );
+}
+
+#[test]
+fn snapshot_is_byte_identical_across_worker_counts() {
+    let base = pinned_run(1).obs.expect("obs enabled").snapshot_json();
+    for workers in [2usize, 8] {
+        let other = pinned_run(workers)
+            .obs
+            .expect("obs enabled")
+            .snapshot_json();
+        assert_eq!(base, other, "snapshot differs at {workers} workers");
+    }
+}
+
+#[test]
+fn counters_and_spans_reconcile_with_run_report() {
+    let report = pinned_run(2);
+    let obs = report.obs.as_ref().expect("obs enabled");
+
+    assert_eq!(
+        obs.counter("daemon.windows"),
+        report.windows.len() as u64,
+        "one daemon.windows tick per window record"
+    );
+    let migrations: u64 = report.windows.iter().map(|w| w.migrations).sum();
+    assert_eq!(obs.counter("daemon.migrations"), migrations);
+    assert_eq!(obs.counter("migrate.regions_moved"), migrations);
+    assert_eq!(obs.counter("migrate.plans"), report.windows.len() as u64);
+
+    // Modeled span time must equal the daemon's own cost accounting.
+    let exec = obs.span_agg("window.execute");
+    let migration_ns: f64 = report.windows.iter().map(|w| w.migration_cost_ns).sum();
+    assert_eq!(exec.count, report.windows.len() as u64);
+    assert!(
+        (exec.modeled_ns - migration_ns).abs() < 1e-6,
+        "execute span {} vs window records {}",
+        exec.modeled_ns,
+        migration_ns
+    );
+    let plan = obs.span_agg("window.plan");
+    let solver_ns: f64 = report.windows.iter().map(|w| w.solver_cost_ns).sum();
+    assert!(
+        (plan.modeled_ns - solver_ns).abs() < 1e-6,
+        "plan span {} vs window records {}",
+        plan.modeled_ns,
+        solver_ns
+    );
+
+    // Fault-site counters mirror the run's FaultCounters exactly.
+    let fault_total: u64 = FaultSite::ALL
+        .iter()
+        .map(|&s| obs.counter(&format!("faults.{}", s.name())))
+        .sum();
+    assert_eq!(fault_total, report.faults.total());
+
+    // Per-tier fault counters track the last window's cumulative readings.
+    let last = report.windows.last().expect("windows recorded");
+    for (i, &f) in last.tier_faults.iter().enumerate() {
+        assert_eq!(obs.counter(&format!("tier.ct{i}.faults")), f);
+    }
+
+    // The solver ran every window and reported its effort.
+    assert!(obs.counter("solver.iterations") > 0);
+
+    // Spans recorded per window: profile, plan, filter, execute.
+    for name in [
+        "window.profile",
+        "window.plan",
+        "window.filter",
+        "window.execute",
+    ] {
+        assert_eq!(
+            obs.span_agg(name).count,
+            report.windows.len() as u64,
+            "span {name} once per window"
+        );
+    }
+}
+
+#[test]
+fn obs_disabled_costs_nothing_and_returns_none() {
+    let workload = WorkloadId::MemcachedYcsb.build(Scale::TEST, 7);
+    let rss = workload.rss_bytes();
+    let cfg = SimConfig::standard_mix(rss, Fidelity::Modeled, 7);
+    let mut system = TieredSystem::new(cfg, workload).expect("valid configuration");
+    let mut policy = AnalyticalModel::am_tco();
+    let dcfg = DaemonConfig {
+        windows: 2,
+        window_accesses: 20_000,
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut system, &mut policy, &dcfg);
+    assert!(report.obs.is_none(), "no registry unless opted in");
+}
+
+#[test]
+fn trace_includes_wall_clock_but_snapshot_does_not() {
+    let report = pinned_run(1);
+    let obs = report.obs.expect("obs enabled");
+    let trace = obs.trace_jsonl();
+    assert!(trace.contains("\"wall_ns\""));
+    assert!(!obs.snapshot_json().contains("wall_ns"));
+    // One trace line per recorded span, all parse as key-ordered JSON lines.
+    assert_eq!(trace.lines().count(), obs.spans().len());
+}
