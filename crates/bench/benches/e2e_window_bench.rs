@@ -149,9 +149,37 @@ fn bench_parallel_migration(c: &mut Criterion) {
     g.finish();
 }
 
+/// Deterministic modeled rows from the pinned CI scenario (the same run
+/// `scripts/update-golden.sh` snapshots). Modeled fidelity makes every
+/// figure a pure function of configuration, so these rows are identical on
+/// any host and CI's bench-regression gate can diff them exactly —
+/// wall-clock rows above are uploaded for trend-watching but never gated.
+fn bench_modeled_e2e(_c: &mut Criterion) {
+    let w = WorkloadId::MemcachedYcsb.build(Scale(1.0 / 1024.0), 42);
+    let rss = w.rss_bytes();
+    let cfg = SimConfig::standard_mix(rss, Fidelity::Modeled, 42).with_compute_ns(200.0);
+    let mut system = TieredSystem::new(cfg, w).expect("valid setup");
+    let mut policy = AnalyticalModel::new(0.2);
+    let dcfg = DaemonConfig {
+        windows: 6,
+        window_accesses: 50_000,
+        migration_workers: 2,
+        fault_plan: Some(FaultPlan::uniform(42, 0.1)),
+        ..DaemonConfig::default()
+    };
+    let report = run_daemon(&mut system, &mut policy, &dcfg);
+    let nwin = report.windows.len() as f64;
+    let solver: f64 = report.windows.iter().map(|w| w.solver_cost_ns).sum();
+    let migration: f64 = report.windows.iter().map(|w| w.migration_cost_ns).sum();
+    criterion::record_modeled("e2e/modeled/solver_ns_per_window", solver / nwin);
+    criterion::record_modeled("e2e/modeled/migration_ns_per_window", migration / nwin);
+    criterion::record_modeled("e2e/modeled/profiling_ns_total", report.profiling_ns);
+    criterion::record_modeled("e2e/modeled/daemon_ns_total", report.daemon_ns);
+}
+
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_window, bench_access_path, bench_parallel_migration
+    targets = bench_window, bench_access_path, bench_parallel_migration, bench_modeled_e2e
 }
 criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! grows, plus the general simplex. Substantiates the paper's observation
 //! that the placement ILP is cheap (§8.4: < 0.3 % of a CPU).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use ts_solver::mckp::{MckpItem, MckpProblem};
+use ts_solver::mckp::{cost, MckpItem, MckpProblem};
 use ts_solver::simplex::{LinearProgram, Relation};
 
 /// A TierScape-shaped MCKP: `n` regions x 6 tiers, decaying hotness.
@@ -72,9 +72,74 @@ fn bench_simplex(c: &mut Criterion) {
     g.finish();
 }
 
+/// `problem(n)` perturbed in ~5% of its groups: the steady-state shape of
+/// consecutive profile windows (§5/Fig. 14 — cooling changes few regions).
+fn perturbed(n: usize, dirty: &[usize]) -> MckpProblem {
+    let mut p = problem(n);
+    for &r in dirty {
+        let h = 1100.0 / (1.0 + r as f64);
+        for (t, item) in p.groups[r].iter_mut().enumerate() {
+            let lat = [0.0, 300.0, 2000.0, 4000.0, 5000.0, 12000.0][t];
+            *item = MckpItem::new(h * lat, item.tco_cost);
+        }
+    }
+    p
+}
+
+/// Cold vs. warm re-solve of one steady-state window, wall-clock. Warm
+/// merges fresh steps for the ~5% dirty groups into the prior sorted order
+/// instead of re-sorting all `n x 6` candidates.
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mckp_window");
+    g.sample_size(15);
+    let n = 1024usize;
+    let dirty: Vec<usize> = (0..n).filter(|r| r % 20 == 0).collect();
+    let prev = problem(n);
+    let next = perturbed(n, &dirty);
+    g.bench_with_input(BenchmarkId::new("cold", n), &next, |b, p| {
+        b.iter(|| black_box(p.solve_greedy_with_state().expect("feasible")))
+    });
+    g.bench_function(BenchmarkId::new("warm", n), |b| {
+        b.iter_batched(
+            || prev.solve_greedy_with_state().expect("feasible").1,
+            |warm| black_box(next.resolve_warm(warm, &dirty).expect("feasible")),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function(BenchmarkId::new("reuse", n), |b| {
+        b.iter_batched(
+            || prev.solve_greedy_with_state().expect("feasible").0,
+            |sol| {
+                black_box(
+                    prev.reuse_solution(&sol)
+                        .expect("prior solution revalidates"),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    // Deterministic modeled rows — what CI's bench-regression gate diffs.
+    // Same cost model the daemon charges (ts_solver::mckp::cost), evaluated
+    // at this benchmark's steady-state shape.
+    let (_, warm) = next.solve_greedy_with_state().expect("feasible");
+    let n_items = n * 6;
+    let dirty_items = dirty.len() * 6;
+    criterion::record_modeled(
+        "solver/modeled/cold_ns_per_window",
+        cost::greedy_cold_ns(n_items),
+    );
+    criterion::record_modeled(
+        "solver/modeled/warm_ns_per_window",
+        cost::greedy_warm_ns(dirty_items, warm.steps_len()),
+    );
+    criterion::record_modeled("solver/modeled/reuse_ns_per_window", cost::reuse_ns(n));
+}
+
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_mckp, bench_simplex
+    targets = bench_mckp, bench_simplex, bench_warm_vs_cold
 }
 criterion_main!(benches);

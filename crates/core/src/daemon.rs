@@ -8,7 +8,7 @@
 //! account (Fig. 14), never to application time.
 
 use crate::filter::{FilterState, MigrationFilter};
-use crate::policy::PlacementPolicy;
+use crate::policy::{PlacementPolicy, PlanCacheMode, PlanDecision};
 use ts_obs::{ObsConfig, SpanTimer};
 use ts_sim::{FaultCounters, FaultPlan, PerfReport, PlannedMove, TcoReport, TieredSystem};
 use ts_telemetry::{AccessBitScanner, DamonRegions, Profiler, TelemetryConfig, TelemetrySource};
@@ -65,6 +65,10 @@ pub struct DaemonConfig {
     /// records counters, gauges, histograms and spans into a
     /// [`ts_obs::Registry`] returned via [`RunReport::obs`].
     pub obs: ObsConfig,
+    /// Plan-cache mode for policies that support incremental re-solves
+    /// (`--plan-cache=off|warm|reuse`). Every mode yields byte-identical
+    /// reports and metrics; only the solver's wall-clock work differs.
+    pub plan_cache: PlanCacheMode,
 }
 
 impl Default for DaemonConfig {
@@ -85,6 +89,7 @@ impl Default for DaemonConfig {
                 .unwrap_or(1),
             fault_plan: None,
             obs: ObsConfig::default(),
+            plan_cache: PlanCacheMode::default(),
         }
     }
 }
@@ -188,6 +193,7 @@ pub fn run_daemon(
     if let Some(plan) = &cfg.fault_plan {
         system.set_fault_plan(plan.clone());
     }
+    policy.set_plan_cache_mode(cfg.plan_cache);
     if cfg.obs.enabled {
         system.install_obs();
     }
@@ -247,6 +253,15 @@ pub fn run_daemon(
                 // Remote site: only the shipping cost hits this machine.
                 system.charge_daemon_ns(policy.last_plan_cost_ns().min(50_000.0));
             }
+            // The decision is a pure function of window state (never of the
+            // plan-cache mode or timing), so these counters are identical
+            // across `--plan-cache` settings and worker counts.
+            let decision = policy.last_plan_decision();
+            let dirty = match &decision {
+                PlanDecision::ColdSolve => 0u64,
+                PlanDecision::WarmSolve { dirty_regions } => dirty_regions.len() as u64,
+                PlanDecision::Reuse => 0u64,
+            };
             if let Some(obs) = system.obs_mut() {
                 obs.span(
                     "window.plan",
@@ -256,9 +271,15 @@ pub fn run_daemon(
                     &[
                         ("entries", plan.len() as f64),
                         ("iterations", solver_iters as f64),
+                        ("dirty_regions", dirty as f64),
                     ],
                 );
                 obs.add("solver.iterations", solver_iters);
+                obs.add(
+                    "solver.warm_hits",
+                    u64::from(!matches!(decision, PlanDecision::ColdSolve)),
+                );
+                obs.add("solver.dirty_regions", dirty);
                 obs.observe("window.solver_cost_ns", solver_cost);
             }
             // Recommended page counts (before the filter: this is the raw

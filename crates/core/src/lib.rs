@@ -52,7 +52,9 @@ pub mod prelude {
     pub use crate::analytic::{AnalyticalModel, SolverSite};
     pub use crate::daemon::{run_daemon, DaemonConfig, RunReport, TelemetryKind, WindowRecord};
     pub use crate::filter::{FilterState, MigrationFilter};
-    pub use crate::policy::{PlacementPolicy, PlanEntry, ThresholdPolicy};
+    pub use crate::policy::{
+        PlacementPolicy, PlanCacheMode, PlanDecision, PlanEntry, ThresholdPolicy,
+    };
     pub use crate::prefetch::PrefetchingPolicy;
     pub use crate::remote::SolverService;
     pub use crate::setup::SystemSetup;

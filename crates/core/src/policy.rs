@@ -23,6 +23,67 @@ pub struct PlanEntry {
     pub dest: Placement,
 }
 
+/// How aggressively [`PlacementPolicy::plan`] may reuse work from the
+/// previous window (the plan cache, DESIGN.md §5f).
+///
+/// Every mode produces bit-identical plans — the cache key is pure state
+/// (hotness bits, budget bits), never timing — so the mode only changes how
+/// the answer is computed, not what it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanCacheMode {
+    /// Cold-solve every window from scratch.
+    Off,
+    /// Diff hotness against the prior window and re-solve only the dirty
+    /// sub-problem, seeded with the prior solution (the default).
+    #[default]
+    Warm,
+    /// Like `Warm`, but when *no* region changed, revalidate and reuse the
+    /// stored solution outright instead of re-walking the hull.
+    Reuse,
+}
+
+impl PlanCacheMode {
+    /// Parse a `--plan-cache` CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(PlanCacheMode::Off),
+            "warm" => Some(PlanCacheMode::Warm),
+            "reuse" => Some(PlanCacheMode::Reuse),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanCacheMode::Off => "off",
+            PlanCacheMode::Warm => "warm",
+            PlanCacheMode::Reuse => "reuse",
+        }
+    }
+}
+
+/// What the plan cache decided for the last window. The decision is a pure
+/// function of window state (bit-exact hotness diff against the prior
+/// window), independent of [`PlanCacheMode`] — the mode only selects which
+/// execution path acts on the decision, so observability counters derived
+/// from it are identical across modes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PlanDecision {
+    /// No prior state to lean on (first window, or shape/budget changed):
+    /// full cold solve.
+    #[default]
+    ColdSolve,
+    /// Prior state valid; only `dirty_regions` changed hotness since the
+    /// last window.
+    WarmSolve {
+        /// Regions whose hotness bits differ from the prior window, ascending.
+        dirty_regions: Vec<u64>,
+    },
+    /// Nothing changed: the stored plan is still the optimum.
+    Reuse,
+}
+
 /// A placement policy (the "model" box of Figure 6).
 pub trait PlacementPolicy: Send {
     /// Display name (e.g. "AM-TCO", "WF", "HeMem*").
@@ -49,6 +110,17 @@ pub trait PlacementPolicy: Send {
     /// for trivial policies; feeds the `solver.iterations` metric.
     fn last_solver_iterations(&self) -> u64 {
         0
+    }
+
+    /// Select the [`PlanCacheMode`] for subsequent [`PlacementPolicy::plan`]
+    /// calls. Trivial policies that never cache ignore this.
+    fn set_plan_cache_mode(&mut self, _mode: PlanCacheMode) {}
+
+    /// What the plan cache decided for the last [`PlacementPolicy::plan`]
+    /// call; feeds the `solver.warm_hits`/`solver.dirty_regions` metrics.
+    /// Policies without a cache always report a cold solve.
+    fn last_plan_decision(&self) -> PlanDecision {
+        PlanDecision::ColdSolve
     }
 }
 

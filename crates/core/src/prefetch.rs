@@ -87,6 +87,14 @@ impl<P: PlacementPolicy> PlacementPolicy for PrefetchingPolicy<P> {
     fn last_solver_iterations(&self) -> u64 {
         self.inner.last_solver_iterations()
     }
+
+    fn set_plan_cache_mode(&mut self, mode: crate::policy::PlanCacheMode) {
+        self.inner.set_plan_cache_mode(mode);
+    }
+
+    fn last_plan_decision(&self) -> crate::policy::PlanDecision {
+        self.inner.last_plan_decision()
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,20 @@ pub fn finalize() {
     }
 }
 
+/// Record a deterministic *modeled* cost row alongside the wall-clock
+/// benchmarks. Modeled rows are pure functions of configuration and state —
+/// identical on every host — so CI's bench-regression gate diffs only them
+/// (wall-clock rows vary with host load and are reported but never gated).
+/// The row appears in the `TS_BENCH_OUT` artifact with `samples = 1` and
+/// `mean_ns == best_ns == ns`.
+pub fn record_modeled(label: &str, ns: f64) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((label.to_string(), ns, ns, 1));
+    println!("{label:<48} modeled {ns:>12.1} ns");
+}
+
 /// Top-level harness configuration and entry point.
 #[derive(Debug, Clone)]
 pub struct Criterion {

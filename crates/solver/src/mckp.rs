@@ -22,8 +22,21 @@
 //!
 //! `solve()` picks the DP when the instance is small and falls back to
 //! greedy + local refinement otherwise.
+//!
+//! # Warm starts
+//!
+//! Consecutive placement windows differ in only a small fraction of regions
+//! (window cooling perturbs few hotness bins per window), so the greedy
+//! solver supports incremental re-solving: [`MckpProblem::solve_greedy_with_state`]
+//! returns a [`WarmState`] (per-group hulls + the canonically ordered step
+//! list), and [`MckpProblem::resolve_warm`] rebuilds only the *dirty* groups
+//! and merges their steps back into the prior order. Both paths walk the
+//! exact same step sequence, so a warm re-solve is **bit-identical** to a
+//! cold solve — same choices, same objective, same `iterations` — it is
+//! only cheaper to produce (`O(d log d + s)` instead of `O(n log n)`).
 
 use crate::SolverError;
+use std::cmp::Ordering;
 
 /// One candidate placement of a group (a tier choice for a region).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,10 +138,174 @@ impl MckpProblem {
     ///
     /// See [`MckpProblem::solve`].
     pub fn solve_greedy(&self) -> Result<MckpSolution, SolverError> {
+        self.solve_greedy_with_state().map(|(sol, _)| sol)
+    }
+
+    /// Cold greedy solve that also returns the reusable [`WarmState`]
+    /// (per-group hulls + canonically ordered upgrade steps) for later
+    /// incremental re-solves via [`MckpProblem::resolve_warm`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MckpProblem::solve`].
+    pub fn solve_greedy_with_state(&self) -> Result<(MckpSolution, WarmState), SolverError> {
         self.validate()?;
         // Per group: indices sorted by tco asc, dominance-filtered, convex hull.
         let hulls: Vec<Vec<usize>> = self.groups.iter().map(|g| lower_hull(g)).collect();
 
+        // All upgrade steps, in canonical order.
+        let mut steps = Vec::new();
+        for (gi, hull) in hulls.iter().enumerate() {
+            self.group_steps(gi, hull, &mut steps);
+        }
+        steps.sort_by(step_cmp);
+
+        let state = WarmState {
+            hulls,
+            steps,
+            budget_bits: self.budget.to_bits(),
+        };
+        let solution = self.hull_walk(&state)?;
+        Ok((solution, state))
+    }
+
+    /// Incremental greedy re-solve: rebuild only the `dirty` groups' hulls
+    /// and steps, merge them back into the prior canonical step order, and
+    /// walk. Requires that every group *not* listed in `dirty` is identical
+    /// (bit-for-bit) to the problem that produced `prev`, and that the
+    /// budget and group count are unchanged; when the shape does not match
+    /// (different group count or budget), this falls back to a cold solve.
+    ///
+    /// The result is bit-identical to [`MckpProblem::solve_greedy`] on the
+    /// same problem — asserted in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// See [`MckpProblem::solve`].
+    pub fn resolve_warm(
+        &self,
+        prev: WarmState,
+        dirty: &[usize],
+    ) -> Result<(MckpSolution, WarmState), SolverError> {
+        self.validate()?;
+        if prev.hulls.len() != self.groups.len()
+            || prev.budget_bits != self.budget.to_bits()
+            || dirty.iter().any(|&g| g >= self.groups.len())
+        {
+            return self.solve_greedy_with_state();
+        }
+        let mut is_dirty = vec![false; self.groups.len()];
+        for &g in dirty {
+            is_dirty[g] = true;
+        }
+        let mut state = prev;
+        // Recompute dirty hulls and their steps; fresh steps get the same
+        // canonical order among themselves.
+        let mut fresh = Vec::new();
+        for (gi, dirty) in is_dirty.iter().enumerate() {
+            if *dirty {
+                state.hulls[gi] = lower_hull(&self.groups[gi]);
+                self.group_steps(gi, &state.hulls[gi], &mut fresh);
+            }
+        }
+        fresh.sort_by(step_cmp);
+        // Merge: prior clean steps (already canonically sorted) with the
+        // fresh dirty ones. `step_cmp` is a total order with no equal
+        // elements across the two inputs (equal efficiency still splits by
+        // group, and a group is either clean or dirty), so the merge yields
+        // exactly the sequence a full sort would.
+        let mut merged = Vec::with_capacity(state.steps.len() + fresh.len());
+        let mut fresh_it = fresh.into_iter().peekable();
+        for s in state.steps.drain(..) {
+            if is_dirty[s.group] {
+                continue; // Superseded by the recomputed steps.
+            }
+            while let Some(f) = fresh_it.peek() {
+                if step_cmp(f, &s) == Ordering::Less {
+                    merged.push(fresh_it.next().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            merged.push(s);
+        }
+        merged.extend(fresh_it);
+        state.steps = merged;
+        let solution = self.hull_walk(&state)?;
+        #[cfg(debug_assertions)]
+        {
+            // The equal-objective invariant, checked the strong way: a warm
+            // re-solve must be indistinguishable from a cold solve.
+            let cold = self.solve_greedy()?;
+            debug_assert_eq!(solution.choice, cold.choice, "warm choice != cold");
+            debug_assert_eq!(
+                solution.perf_cost.to_bits(),
+                cold.perf_cost.to_bits(),
+                "warm objective {} != cold {}",
+                solution.perf_cost,
+                cold.perf_cost
+            );
+            debug_assert_eq!(
+                solution.tco_cost.to_bits(),
+                cold.tco_cost.to_bits(),
+                "warm tco != cold"
+            );
+            debug_assert_eq!(solution.iterations, cold.iterations, "warm effort != cold");
+        }
+        Ok((solution, state))
+    }
+
+    /// Validate a previous window's solution against this problem for plan
+    /// reuse: the choice must have the right shape, stay within budget, and
+    /// score to exactly the stored objective (bit-for-bit). Returns the
+    /// revalidated solution, or `None` when the problem changed — the
+    /// caller must fall back to a real solve.
+    pub fn reuse_solution(&self, prev: &MckpSolution) -> Option<MckpSolution> {
+        if prev.choice.len() != self.groups.len()
+            || prev
+                .choice
+                .iter()
+                .zip(&self.groups)
+                .any(|(&c, g)| c >= g.len())
+        {
+            return None;
+        }
+        let (perf, tco) = self.score(&prev.choice);
+        if tco > self.budget + 1e-9
+            || perf.to_bits() != prev.perf_cost.to_bits()
+            || tco.to_bits() != prev.tco_cost.to_bits()
+        {
+            return None;
+        }
+        Some(prev.clone())
+    }
+
+    /// Append the canonical upgrade steps of group `gi` (with hull `hull`)
+    /// to `out`.
+    fn group_steps(&self, gi: usize, hull: &[usize], out: &mut Vec<Step>) {
+        for l in 1..hull.len() {
+            let a = self.groups[gi][hull[l - 1]];
+            let b = self.groups[gi][hull[l]];
+            let d_tco = b.tco_cost - a.tco_cost;
+            let d_perf = a.perf_cost - b.perf_cost;
+            debug_assert!(d_tco > 0.0 && d_perf > 0.0);
+            out.push(Step {
+                group: gi,
+                to_level: l,
+                d_tco,
+                d_perf,
+                eff: d_perf / d_tco,
+            });
+        }
+    }
+
+    /// The greedy walk over a prepared [`WarmState`]: start every group at
+    /// its min-TCO hull point, apply steps in canonical order while the
+    /// budget allows, then refinement passes to fixpoint. Shared verbatim by
+    /// the cold and warm paths, so both produce identical solutions.
+    fn hull_walk(&self, state: &WarmState) -> Result<MckpSolution, SolverError> {
+        let hulls = &state.hulls;
+        let steps = &state.steps;
         // Start at each group's min-TCO hull point.
         let mut level: Vec<usize> = vec![0; self.groups.len()];
         let mut tco: f64 = hulls
@@ -140,38 +317,9 @@ impl MckpProblem {
             return Err(SolverError::Infeasible);
         }
 
-        // All upgrade steps, globally sorted by efficiency descending.
-        #[derive(Debug)]
-        struct Step {
-            group: usize,
-            to_level: usize,
-            d_tco: f64,
-            #[allow(dead_code)]
-            d_perf: f64,
-            eff: f64,
-        }
-        let mut steps = Vec::new();
-        for (gi, hull) in hulls.iter().enumerate() {
-            for l in 1..hull.len() {
-                let a = self.groups[gi][hull[l - 1]];
-                let b = self.groups[gi][hull[l]];
-                let d_tco = b.tco_cost - a.tco_cost;
-                let d_perf = a.perf_cost - b.perf_cost;
-                debug_assert!(d_tco > 0.0 && d_perf > 0.0);
-                steps.push(Step {
-                    group: gi,
-                    to_level: l,
-                    d_tco,
-                    d_perf,
-                    eff: d_perf / d_tco,
-                });
-            }
-        }
-        steps.sort_by(|a, b| b.eff.partial_cmp(&a.eff).expect("finite efficiencies"));
-
         let mut iterations = steps.len() as u64;
         let mut skipped_any = false;
-        for s in &steps {
+        for s in steps {
             // In-group order: only apply if it is the next level for its
             // group (within-group efficiencies decrease, so the global order
             // respects this except under exact ties).
@@ -190,7 +338,7 @@ impl MckpProblem {
         loop {
             let mut progressed = false;
             iterations += steps.len() as u64;
-            for s in &steps {
+            for s in steps {
                 if level[s.group] + 1 == s.to_level && tco + s.d_tco <= self.budget + 1e-9 {
                     tco += s.d_tco;
                     level[s.group] = s.to_level;
@@ -316,6 +464,88 @@ impl MckpProblem {
             exact: true,
             iterations,
         })
+    }
+}
+
+/// One hull upgrade step: move `group` from hull level `to_level - 1` to
+/// `to_level`, buying `d_perf` performance for `d_tco` budget.
+#[derive(Debug, Clone)]
+struct Step {
+    group: usize,
+    to_level: usize,
+    d_tco: f64,
+    #[allow(dead_code)]
+    d_perf: f64,
+    eff: f64,
+}
+
+/// Canonical total order over upgrade steps: efficiency descending, then
+/// group ascending, then level ascending. Both the cold sort and the warm
+/// merge use this comparator, which is what makes warm re-solves
+/// bit-identical to cold solves. (Within one group, hull efficiencies are
+/// strictly decreasing, so two distinct steps never compare equal.)
+fn step_cmp(a: &Step, b: &Step) -> Ordering {
+    b.eff
+        .partial_cmp(&a.eff)
+        .expect("finite efficiencies")
+        .then_with(|| a.group.cmp(&b.group))
+        .then_with(|| a.to_level.cmp(&b.to_level))
+}
+
+/// Reusable solver state from a greedy solve: the per-group convex hulls
+/// and the canonically ordered upgrade-step list. Feed it back to
+/// [`MckpProblem::resolve_warm`] with the set of changed groups to re-solve
+/// incrementally. Opaque on purpose — its invariants (hull/step agreement,
+/// canonical order) are what the warm path's determinism rests on.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    hulls: Vec<Vec<usize>>,
+    steps: Vec<Step>,
+    budget_bits: u64,
+}
+
+impl WarmState {
+    /// Number of groups this state was built for.
+    pub fn groups(&self) -> usize {
+        self.hulls.len()
+    }
+
+    /// Number of upgrade steps currently held (feeds the modeled warm-solve
+    /// cost, [`cost::greedy_warm_ns`]).
+    pub fn steps_len(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Closed-form modeled solver costs, in nanoseconds.
+///
+/// These are deterministic functions of the problem shape — never stopwatch
+/// readings — so they can feed bit-reproducible daemon accounting and the
+/// snapshot-diffed rows of the CI bench-regression gate. The constant is
+/// ~one branch-heavy comparison on a server core.
+pub mod cost {
+    /// Modeled cost of one comparison/step examination.
+    pub const NS_PER_CMP: f64 = 25.0;
+
+    /// Cold greedy solve over `n_items` candidate (region, tier) pairs:
+    /// dominated by the `O(n log n)` canonical step sort.
+    pub fn greedy_cold_ns(n_items: usize) -> f64 {
+        let n = n_items as f64;
+        NS_PER_CMP * n * n.max(2.0).log2()
+    }
+
+    /// Warm re-solve with `dirty_items` candidate pairs in changed groups
+    /// and `steps` total upgrade steps: sort the recomputed dirty steps
+    /// (`O(d log d)`) and merge + walk the full step list (`O(s)`).
+    pub fn greedy_warm_ns(dirty_items: usize, steps: usize) -> f64 {
+        let d = dirty_items as f64;
+        NS_PER_CMP * (d * d.max(2.0).log2() + steps as f64)
+    }
+
+    /// Plan reuse over `n_regions` regions: one pass to diff hotness and
+    /// revalidate the stored choice.
+    pub fn reuse_ns(n_regions: usize) -> f64 {
+        NS_PER_CMP * n_regions as f64
     }
 }
 
@@ -607,12 +837,126 @@ mod tests {
             row[v] = 1.0;
             lp = lp.constrain(row, Relation::Le, 1.0);
         }
-        let ilp = solve_ilp(&lp, &(0..nvars).collect::<Vec<_>>()).unwrap();
+        let ilp = solve_ilp(&lp, &(0..nvars).collect::<Vec<_>>())
+            .expect("MCKP cross-validation ILP (3 groups, budget 9) is feasible");
         assert!(
             (dp.perf_cost - (-ilp.objective)).abs() < 1e-6,
             "dp {} vs ilp {}",
             dp.perf_cost,
             -ilp.objective
         );
+    }
+
+    /// Tier-shaped instance: `n` groups x 6 items, perf = hotness x latency,
+    /// static per-tier TCO.
+    fn tiered_problem(hot: &[f64]) -> MckpProblem {
+        let groups = hot
+            .iter()
+            .map(|&h| {
+                (0..6)
+                    .map(|t| {
+                        let lat = [0.0, 300.0, 2000.0, 4000.0, 5000.0, 12000.0][t];
+                        let cost = [12.0, 4.0, 6.0, 2.0, 5.5, 1.2][t];
+                        MckpItem::new(h * lat, cost)
+                    })
+                    .collect()
+            })
+            .collect();
+        MckpProblem {
+            groups,
+            budget: 4.0 * hot.len() as f64,
+        }
+    }
+
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold_over_window_sequence() {
+        // A steady-state window sequence: each window perturbs a small,
+        // rotating subset of hotness values; warm re-solves must match cold
+        // solves exactly (choice, objective bits, effort).
+        let n = 96usize;
+        let mut hot: Vec<f64> = (0..n).map(|r| 1000.0 / (1.0 + r as f64)).collect();
+        let (mut sol, mut state) = tiered_problem(&hot)
+            .solve_greedy_with_state()
+            .expect("budget covers minimum");
+        for window in 1..12u64 {
+            // Deterministic churn: ~8% of groups change per window.
+            let dirty: Vec<usize> = (0..n)
+                .filter(|&r| (r as u64).wrapping_mul(0x9E3779B9).wrapping_add(window) % 13 == 0)
+                .collect();
+            for &r in &dirty {
+                hot[r] = hot[r] * 0.5 + window as f64;
+            }
+            let p = tiered_problem(&hot);
+            let cold = p.solve_greedy().expect("feasible");
+            let (warm, next) = p.resolve_warm(state, &dirty).expect("feasible");
+            assert_eq!(warm.choice, cold.choice, "window {window}");
+            assert_eq!(warm.perf_cost.to_bits(), cold.perf_cost.to_bits());
+            assert_eq!(warm.tco_cost.to_bits(), cold.tco_cost.to_bits());
+            assert_eq!(warm.iterations, cold.iterations, "window {window}");
+            sol = warm;
+            state = next;
+        }
+        assert!(sol.tco_cost <= 4.0 * n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn warm_resolve_with_no_dirty_groups_matches_cold() {
+        let hot: Vec<f64> = (0..32).map(|r| (r as f64) * 3.5).collect();
+        let p = tiered_problem(&hot);
+        let (cold, state) = p.solve_greedy_with_state().expect("feasible");
+        let (warm, _) = p.resolve_warm(state, &[]).expect("feasible");
+        assert_eq!(warm.choice, cold.choice);
+        assert_eq!(warm.iterations, cold.iterations);
+    }
+
+    #[test]
+    fn warm_resolve_falls_back_on_shape_mismatch() {
+        let p_small = tiered_problem(&[1.0, 2.0, 3.0]);
+        let (_, state) = p_small.solve_greedy_with_state().expect("feasible");
+        // Different group count: must fall back to a cold solve, not panic.
+        let p_big = tiered_problem(&[1.0, 2.0, 3.0, 4.0]);
+        let (warm, _) = p_big.resolve_warm(state, &[0]).expect("feasible");
+        let cold = p_big.solve_greedy().expect("feasible");
+        assert_eq!(warm.choice, cold.choice);
+        // Out-of-range dirty index: same fallback.
+        let (_, state2) = p_big.solve_greedy_with_state().expect("feasible");
+        let (warm2, _) = p_big.resolve_warm(state2, &[99]).expect("feasible");
+        assert_eq!(warm2.choice, cold.choice);
+    }
+
+    #[test]
+    fn reuse_solution_validates_and_rejects() {
+        let hot: Vec<f64> = (0..16).map(|r| 100.0 - r as f64).collect();
+        let p = tiered_problem(&hot);
+        let sol = p.solve_greedy().expect("feasible");
+        // Unchanged problem: reuse succeeds bit-for-bit.
+        let reused = p.reuse_solution(&sol).expect("same problem revalidates");
+        assert_eq!(reused.choice, sol.choice);
+        assert_eq!(reused.perf_cost.to_bits(), sol.perf_cost.to_bits());
+        assert_eq!(reused.iterations, sol.iterations);
+        // Changed hotness: the stored objective no longer matches -> reject.
+        let mut hot2 = hot.clone();
+        hot2[3] *= 7.0;
+        assert!(tiered_problem(&hot2).reuse_solution(&sol).is_none());
+        // Wrong shape -> reject.
+        assert!(tiered_problem(&hot[..8]).reuse_solution(&sol).is_none());
+    }
+
+    #[test]
+    fn modeled_costs_show_warm_win() {
+        // The standard-mix steady state: 1024 regions x 6 tiers, ~5% of
+        // regions dirty per window. The modeled warm cost must undercut the
+        // cold cost by at least the 3x the bench-regression gate pins.
+        let n_regions = 1024usize;
+        let n_items = n_regions * 6;
+        let dirty_items = n_items / 20;
+        let steps = n_regions * 5; // Full hulls keep all 5 upgrade steps.
+        let cold = cost::greedy_cold_ns(n_items);
+        let warm = cost::greedy_warm_ns(dirty_items, steps);
+        assert!(
+            cold >= 3.0 * warm,
+            "cold {cold} ns vs warm {warm} ns: expected >= 3x"
+        );
+        assert!(cost::reuse_ns(n_regions) < warm);
     }
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the bench-regression baseline that CI's bench-regression job
+# diffs against (tests/golden/bench_baseline.json).
+#
+# Run this ONLY when a change intentionally alters a modeled bench figure
+# (new cost model, changed pinned scenario, new modeled rows) — then commit
+# the updated baseline alongside the change, exactly like the golden-metrics
+# workflow (scripts/update-golden.sh). Only deterministic `modeled` rows are
+# kept: they are pure functions of configuration and state, byte-identical
+# on every host, so a >15% diff in CI is a real regression, not host noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --locked
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+TS_BENCH_OUT="$tmpdir/BENCH_e2e.json" \
+  cargo bench --offline --locked -p ts-bench --bench e2e_window_bench
+TS_BENCH_OUT="$tmpdir/BENCH_solver.json" \
+  cargo bench --offline --locked -p ts-bench --bench solver_bench
+
+cargo run --release --offline --locked -p ts-bench --bin bench_gate -- \
+  merge tests/golden/bench_baseline.json \
+  "$tmpdir/BENCH_e2e.json" "$tmpdir/BENCH_solver.json"
+
+echo "updated tests/golden/bench_baseline.json"

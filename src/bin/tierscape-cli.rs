@@ -27,6 +27,8 @@ fn usage() -> ! {
          \x20                   [--fault-rate R] [--fault-seed S] [--fault-plan FILE]\n\
          \x20                    (R > 0 injects deterministic faults at every site;\n\
          \x20                     seed defaults to --seed; FILE is a JSON FaultPlan)\n\
+         \x20                   [--plan-cache off|warm|reuse]  (incremental solver;\n\
+         \x20                    default warm; every mode is byte-identical)\n\
          \x20                   [--metrics-out FILE]   (deterministic metrics JSON)\n\
          \x20                   [--trace-out FILE]     (span trace JSONL, wall-clock)\n\
          \x20                   [--metrics-summary]    (human-readable metrics table)\n\
@@ -157,6 +159,12 @@ fn cmd_run(args: &Args) {
     } else if fault_rate > 0.0 {
         dcfg.fault_plan = Some(FaultPlan::uniform(fault_seed, fault_rate));
     }
+    if let Some(mode) = args.value("--plan-cache") {
+        dcfg.plan_cache = PlanCacheMode::parse(mode).unwrap_or_else(|| {
+            eprintln!("unknown --plan-cache '{mode}' (expected off, warm or reuse)");
+            std::process::exit(2);
+        });
+    }
     let metrics_out = args.value("--metrics-out").map(String::from);
     let trace_out = args.value("--trace-out").map(String::from);
     let metrics_summary = args.flag("--metrics-summary");
@@ -234,6 +242,12 @@ impl PlacementPolicy for BoxedPolicy {
     }
     fn last_solver_iterations(&self) -> u64 {
         self.0.last_solver_iterations()
+    }
+    fn set_plan_cache_mode(&mut self, mode: PlanCacheMode) {
+        self.0.set_plan_cache_mode(mode);
+    }
+    fn last_plan_decision(&self) -> PlanDecision {
+        self.0.last_plan_decision()
     }
 }
 

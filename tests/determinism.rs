@@ -231,6 +231,53 @@ fn fault_injection_identical_across_worker_counts() {
 }
 
 #[test]
+fn plan_cache_modes_byte_identical_reports_and_metrics() {
+    // The plan cache's determinism bar: `--plan-cache=warm` (and `reuse`)
+    // must produce byte-identical RunReports AND metrics artifacts to
+    // `--plan-cache=off`, at 1 and 8 workers, with fault-degraded windows
+    // in the mix. The cache key is pure hotness state, so the mode and the
+    // worker count may only change host wall-clock, never any artifact.
+    let plan = FaultPlan::uniform(42, 0.1);
+    let run = |mode: PlanCacheMode, workers: usize| {
+        let mut system = standard_system(WorkloadId::MemcachedYcsb, Fidelity::Modeled, 7);
+        let mut policy = AnalyticalModel::am_tco();
+        let cfg = DaemonConfig {
+            windows: 6,
+            window_accesses: 20_000,
+            migration_workers: workers,
+            fault_plan: Some(plan.clone()),
+            obs: ObsConfig::enabled(),
+            plan_cache: mode,
+            ..DaemonConfig::default()
+        };
+        run_daemon(&mut system, &mut policy, &cfg)
+    };
+    let base = run(PlanCacheMode::Off, 1);
+    let base_snap = base.obs.as_ref().expect("obs enabled").snapshot_json();
+    assert!(
+        base.faults.total() > 0,
+        "the plan must actually inject for the test to mean anything"
+    );
+    assert!(
+        base_snap.contains("solver.warm_hits"),
+        "warm-hit counter present even with the cache off (decision is mode-independent)"
+    );
+    for workers in [1usize, 8] {
+        for mode in [
+            PlanCacheMode::Off,
+            PlanCacheMode::Warm,
+            PlanCacheMode::Reuse,
+        ] {
+            let other = run(mode, workers);
+            let label = format!("plan-cache={} workers={workers}", mode.name());
+            assert_identical(&base, &other, &label);
+            let snap = other.obs.as_ref().expect("obs enabled").snapshot_json();
+            assert_eq!(base_snap, snap, "{label}: metrics artifact diverged");
+        }
+    }
+}
+
+#[test]
 fn execute_plan_report_is_worker_invariant() {
     // Below the daemon: drive execute_plan directly with a fan-out plan
     // and check the *report* (moved/rejected/costs/stall) is identical,

@@ -106,6 +106,20 @@ fn counters_and_spans_reconcile_with_run_report() {
     // The solver ran every window and reported its effort.
     assert!(obs.counter("solver.iterations") > 0);
 
+    // Plan-cache counters: window 1 is always a cold solve (no prior
+    // solution); every later window diffs its hotness against the previous
+    // one bit-exactly. Under this workload hotness decays every window, so
+    // each steady-state window is a warm hit with a non-empty dirty set.
+    assert_eq!(
+        obs.counter("solver.warm_hits"),
+        report.windows.len() as u64 - 1,
+        "every window after the first warm-starts"
+    );
+    assert!(
+        obs.counter("solver.dirty_regions") > 0,
+        "decaying hotness leaves dirty regions to re-solve"
+    );
+
     // Spans recorded per window: profile, plan, filter, execute.
     for name in [
         "window.profile",

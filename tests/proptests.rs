@@ -151,6 +151,63 @@ proptest! {
             "exact {} must be <= greedy {}", exact.perf_cost, greedy.perf_cost);
     }
 
+    /// Warm-start re-solves are bit-identical to cold solves — equal
+    /// objective AND identical chosen placements — across randomized window
+    /// sequences (the plan cache's correctness bar, DESIGN.md §5f).
+    #[test]
+    fn mckp_warm_start_equals_cold_across_window_sequences(
+        hot0 in proptest::collection::vec(0u32..1000, 2..32),
+        windows in proptest::collection::vec(
+            proptest::collection::vec((0usize..32, 0u32..1000), 0..8),
+            1..6,
+        ),
+    ) {
+        const LAT: [f64; 6] = [0.0, 300.0, 2000.0, 4000.0, 5000.0, 12000.0];
+        const COST: [f64; 6] = [12.0, 4.0, 6.0, 2.0, 5.5, 1.2];
+        let build = |hot: &[f64]| MckpProblem {
+            groups: hot
+                .iter()
+                .map(|&h| (0..6).map(|t| MckpItem::new(h * LAT[t], COST[t])).collect())
+                .collect(),
+            budget: 4.0 * hot.len() as f64,
+        };
+        let mut hot: Vec<f64> = hot0.iter().map(|&h| f64::from(h)).collect();
+        let (mut prev_sol, mut warm) = build(&hot)
+            .solve_greedy_with_state()
+            .expect("budget covers every region's cheapest tier");
+        for muts in windows {
+            let prev_hot = hot.clone();
+            for (i, v) in muts {
+                let i = i % hot.len();
+                hot[i] = f64::from(v);
+            }
+            let dirty: Vec<usize> = (0..hot.len())
+                .filter(|&r| prev_hot[r].to_bits() != hot[r].to_bits())
+                .collect();
+            let problem = build(&hot);
+            let (cold_sol, cold_state) = problem
+                .solve_greedy_with_state()
+                .expect("budget covers every region's cheapest tier");
+            let (warm_sol, warm_state) = problem
+                .resolve_warm(warm, &dirty)
+                .expect("warm re-solve of a feasible problem succeeds");
+            prop_assert_eq!(&warm_sol.choice, &cold_sol.choice, "chosen placements diverge");
+            prop_assert_eq!(warm_sol.perf_cost.to_bits(), cold_sol.perf_cost.to_bits());
+            prop_assert_eq!(warm_sol.tco_cost.to_bits(), cold_sol.tco_cost.to_bits());
+            prop_assert_eq!(warm_sol.iterations, cold_sol.iterations);
+            prop_assert_eq!(warm_state.steps_len(), cold_state.steps_len());
+            // A clean window must also revalidate for the Reuse path.
+            if dirty.is_empty() {
+                let reused = problem
+                    .reuse_solution(&prev_sol)
+                    .expect("unchanged problem revalidates the stored solution");
+                prop_assert_eq!(&reused.choice, &cold_sol.choice);
+            }
+            warm = warm_state;
+            prev_sol = warm_sol;
+        }
+    }
+
     /// Latency histogram percentiles are monotone in p and bounded by max.
     #[test]
     fn histogram_percentiles_monotone(samples in proptest::collection::vec(1.0f64..1e8, 1..400)) {
@@ -269,7 +326,45 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every `--plan-cache` mode yields byte-identical metrics artifacts on
+    /// full daemon runs with randomized fault plans: warm-start re-solves
+    /// survive fault-degraded windows (aborted moves, pressure spikes) the
+    /// same way cold solves do, because the cache key is hotness state, not
+    /// what migration later did with the plan.
+    #[test]
+    fn plan_cache_modes_byte_identical_under_random_faults(
+        seed in 0u64..1000,
+        fault_millis in 1u32..300,
+    ) {
+        use tierscape::core::prelude::*;
+        use tierscape::sim::{Fidelity, SimConfig, TieredSystem};
+        use tierscape::workloads::{Scale, WorkloadId};
+
+        let run = |mode: PlanCacheMode| {
+            let w = WorkloadId::MemcachedYcsb.build(Scale::TEST, seed);
+            let rss = w.rss_bytes();
+            let mut system =
+                TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, seed), w)
+                    .expect("valid configuration");
+            let mut policy = AnalyticalModel::am_tco();
+            let cfg = DaemonConfig {
+                windows: 3,
+                window_accesses: 15_000,
+                migration_workers: 2,
+                fault_plan: Some(FaultPlan::uniform(seed, f64::from(fault_millis) / 1000.0)),
+                obs: ObsConfig::enabled(),
+                plan_cache: mode,
+                ..DaemonConfig::default()
+            };
+            let report = run_daemon(&mut system, &mut policy, &cfg);
+            report.obs.expect("obs enabled").snapshot_json()
+        };
+        let off = run(PlanCacheMode::Off);
+        prop_assert_eq!(&off, &run(PlanCacheMode::Warm), "warm diverged from off");
+        prop_assert_eq!(&off, &run(PlanCacheMode::Reuse), "reuse diverged from off");
+    }
 
     /// Load-after-store round-trips for every (algorithm, pool, medium)
     /// combination — the paper's full 63-tier space — through the sharded
