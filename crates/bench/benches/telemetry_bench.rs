@@ -46,7 +46,7 @@ fn bench_fold_window(c: &mut Criterion) {
             |b, &regions| {
                 let mut tracker = HotnessTracker::new(0.5);
                 b.iter(|| {
-                    let mut raw = std::collections::HashMap::new();
+                    let mut raw = std::collections::BTreeMap::new();
                     for r in 0..regions {
                         raw.insert(
                             r,
@@ -66,7 +66,7 @@ fn bench_fold_window(c: &mut Criterion) {
 
 fn bench_percentile(c: &mut Criterion) {
     let mut tracker = HotnessTracker::new(0.5);
-    let mut raw = std::collections::HashMap::new();
+    let mut raw = std::collections::BTreeMap::new();
     for r in 0..10_000u64 {
         raw.insert(
             r,

@@ -34,7 +34,7 @@ impl Default for MigrationFilter {
 /// Filter state carried across windows (per-region last-move window).
 #[derive(Debug, Default)]
 pub struct FilterState {
-    last_moved: std::collections::HashMap<u64, u64>,
+    last_moved: std::collections::BTreeMap<u64, u64>,
     window: u64,
 }
 

@@ -139,7 +139,7 @@ pub fn percentile_of(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("hotness is never NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let idx = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[idx]
 }

@@ -11,7 +11,7 @@
 //! slow-tier faults.
 
 use crate::policy::{PlacementPolicy, PlanEntry};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_sim::{Placement, TieredSystem};
 use ts_telemetry::HotnessSnapshot;
 
@@ -23,7 +23,7 @@ pub struct PrefetchingPolicy<P> {
     pub rise_factor: f64,
     /// Minimum hotness for the trend to count (filters noise).
     pub min_hotness: f64,
-    prev: HashMap<u64, f64>,
+    prev: BTreeMap<u64, f64>,
     /// Regions promoted by the prefetcher in the last plan (observability).
     pub last_prefetches: u64,
 }
@@ -35,7 +35,7 @@ impl<P: PlacementPolicy> PrefetchingPolicy<P> {
             inner,
             rise_factor: 1.5,
             min_hotness: 1.0,
-            prev: HashMap::new(),
+            prev: BTreeMap::new(),
             last_prefetches: 0,
         }
     }
@@ -168,7 +168,7 @@ mod tests {
             TieredSystem::new(SimConfig::standard_mix(rss, Fidelity::Modeled, 1), w).unwrap();
 
         let mut tracker = HotnessTracker::new(0.5);
-        let mut raw = HashMap::new();
+        let mut raw = BTreeMap::new();
         raw.insert(
             0u64,
             RegionCounts {
@@ -180,7 +180,7 @@ mod tests {
         let mut pf = PrefetchingPolicy::new(DemoteAll);
         let _ = pf.plan(&snap1, &system);
         // Window 2: region 0 hotness doubles -> must be promoted.
-        let mut raw = HashMap::new();
+        let mut raw = BTreeMap::new();
         raw.insert(
             0u64,
             RegionCounts {

@@ -42,6 +42,7 @@ impl SolverService {
     pub fn spawn() -> SolverService {
         let (req_tx, req_rx) = bounded::<Request>(1);
         let (resp_tx, resp_rx) = bounded(1);
+        // ts-lint: allow(thread-hygiene) -- the solver service IS a dedicated thread; it carries no simulation state and replies over a rendezvous channel
         let handle = std::thread::Builder::new()
             .name("ts-solver-service".into())
             .spawn(move || {
@@ -49,6 +50,7 @@ impl SolverService {
                     match req {
                         Request::Shutdown => break,
                         Request::Solve(problem) => {
+                            // ts-lint: allow(no-wall-clock) -- measures real solver latency for the observability report; never feeds placement decisions
                             let t0 = Instant::now();
                             let result = problem.solve_greedy();
                             let solve_ns = t0.elapsed().as_nanos() as f64;
@@ -74,6 +76,7 @@ impl SolverService {
     /// Panics if the service thread died (a programming error: the thread
     /// only exits on shutdown).
     pub fn solve(&self, problem: MckpProblem) -> RemoteSolution {
+        // ts-lint: allow(no-wall-clock) -- round-trip RTT measurement is this module's purpose; reported, never used for planning
         let t0 = Instant::now();
         self.tx
             .send(Request::Solve(Box::new(problem)))

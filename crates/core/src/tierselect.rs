@@ -36,8 +36,8 @@ impl WorkloadProfile {
     /// class mix from region content, temperature deciles from hotness.
     pub fn from_system(system: &TieredSystem, snapshot: &HotnessSnapshot) -> WorkloadProfile {
         let nregions = system.total_regions();
-        let mut class_acc: std::collections::HashMap<PageClass, f64> =
-            std::collections::HashMap::new();
+        let mut class_acc: std::collections::BTreeMap<PageClass, f64> =
+            std::collections::BTreeMap::new();
         let mut hotness: Vec<f64> = Vec::with_capacity(nregions as usize);
         for r in 0..nregions {
             for (c, f) in system.region_class_mix(r) {
@@ -54,7 +54,7 @@ impl WorkloadProfile {
         // bucket has weight 100 (the scale [`WorkloadProfile::synthetic`]
         // uses): raw sample counts depend on the sampling period and run
         // length and would otherwise dominate the objective arbitrarily.
-        hotness.sort_by(|a, b| b.partial_cmp(a).expect("finite hotness"));
+        hotness.sort_by(|a, b| b.total_cmp(a));
         let peak = hotness.first().copied().unwrap_or(0.0).max(1e-12);
         let mut buckets = Vec::with_capacity(10);
         let per = (hotness.len() / 10).max(1);

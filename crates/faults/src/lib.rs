@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Deterministic fault injection for the TierScape reproduction.
 //!
 //! TierScape's kernel path must survive compression failures, pool

@@ -1,0 +1,196 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! `ts-lint` — the workspace determinism & robustness static-analysis gate.
+//!
+//! ```text
+//! ts-lint [--root DIR] [--budget FILE | --no-budget] [--format text|json]
+//!         [--out FILE] [--write-budget FILE] [--show-suppressed]
+//! ```
+//!
+//! Exit codes: 0 = clean (within budget), 1 = violations over budget,
+//! 2 = usage or I/O error.
+//!
+//! Default root is the enclosing cargo workspace (found by walking up from
+//! the current directory); default budget is
+//! `tests/golden/lint_budget.json` under the root. `--write-budget`
+//! regenerates the budget from the current findings (the ratchet's
+//! "accept fixes" step — see `scripts/update-lint-budget.sh`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ts_lint::{budget::Budget, reconcile, render_json, render_text, scan_root, BUDGET_REL_PATH};
+
+struct Opts {
+    root: Option<PathBuf>,
+    budget: Option<PathBuf>,
+    no_budget: bool,
+    write_budget: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+    show_suppressed: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ts-lint [--root DIR] [--budget FILE | --no-budget] \
+         [--format text|json] [--out FILE] [--write-budget FILE] [--show-suppressed]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        root: None,
+        budget: None,
+        no_budget: false,
+        write_budget: None,
+        json: false,
+        out: None,
+        show_suppressed: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| -> PathBuf {
+            match args.next() {
+                Some(v) => PathBuf::from(v),
+                None => usage(),
+            }
+        };
+        match a.as_str() {
+            "--root" => opts.root = Some(path_arg(&mut args)),
+            "--budget" => opts.budget = Some(path_arg(&mut args)),
+            "--no-budget" => opts.no_budget = true,
+            "--write-budget" => opts.write_budget = Some(path_arg(&mut args)),
+            "--out" => opts.out = Some(path_arg(&mut args)),
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => usage(),
+            },
+            "--show-suppressed" => opts.show_suppressed = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ts-lint: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// Walk upward from `start` to the enclosing `[workspace]` Cargo.toml.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("ts-lint: cannot read current dir: {e}");
+                std::process::exit(2);
+            });
+            // Fall back to the source checkout this binary was built from
+            // (crates/lint two levels below the root).
+            find_workspace_root(&cwd)
+                .or_else(|| {
+                    Path::new(env!("CARGO_MANIFEST_DIR"))
+                        .ancestors()
+                        .nth(2)
+                        .map(Path::to_path_buf)
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("ts-lint: no enclosing cargo workspace; pass --root");
+                    std::process::exit(2);
+                })
+        }
+    };
+
+    let findings = match scan_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ts-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.write_budget {
+        let budget = Budget::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, budget.to_json()) {
+            eprintln!("ts-lint: cannot write budget {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ts-lint: wrote budget {} ({} grandfathered finding(s) across {} entries)",
+            path.display(),
+            budget.total(),
+            budget.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let budget = if opts.no_budget {
+        Budget::default()
+    } else {
+        let path = opts
+            .budget
+            .clone()
+            .unwrap_or_else(|| root.join(BUDGET_REL_PATH));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match Budget::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("ts-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) if opts.budget.is_none() => {
+                // No checked-in budget: everything must be clean.
+                Budget::default()
+            }
+            Err(e) => {
+                eprintln!("ts-lint: cannot read budget {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let rec = reconcile(&findings, &budget);
+    let report = if opts.json {
+        render_json(&findings, &rec)
+    } else {
+        render_text(&findings, &rec, opts.show_suppressed)
+    };
+    if let Some(out) = &opts.out {
+        if let Err(e) = std::fs::write(out, &report) {
+            eprintln!("ts-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        // Keep the human summary on stdout even when the JSON went to a file.
+        if opts.json {
+            print!("{}", render_text(&findings, &rec, opts.show_suppressed));
+        }
+    } else {
+        print!("{report}");
+    }
+
+    if rec.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,370 @@
+//! Source masking: a hand-rolled lexer pass that blanks string-literal and
+//! comment *contents* (preserving layout, line structure and the quotes
+//! themselves) so the rule patterns in [`crate::scan_source`] never match
+//! inside text, plus `#[cfg(test)]` item-span tracking so test code is
+//! exempt from the library-code rules.
+
+/// Masked view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Masked {
+    /// The source with string and comment contents replaced by spaces.
+    /// Newlines are preserved, so line numbers match the original.
+    pub code: String,
+    /// Per line (0-based), the concatenated comment text of that line —
+    /// where `ts-lint: allow(...)` directives live.
+    pub comments: Vec<String>,
+}
+
+/// Blank strings and comments out of `src`.
+///
+/// Handles line comments (`//`, `///`, `//!`), nested block comments,
+/// string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+/// count, plus byte-string variants) and char literals, including the
+/// char-literal / lifetime ambiguity (`'a'` vs `&'a str`).
+pub fn mask(src: &str) -> Masked {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut line = 0usize;
+
+    let mut i = 0usize;
+    // Pushes a masked (blanked) char, preserving newlines.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                code.push('\n');
+                line += 1;
+                comments.push(String::new());
+            } else {
+                code.push(' ');
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Line comment. Only plain `//` comments can carry allow
+        // directives: doc comments (`///`, `//!`) are rendered prose and
+        // routinely *describe* the directive grammar without meaning it.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let is_doc = i + 2 < n && (chars[i + 2] == '/' || chars[i + 2] == '!');
+            while i < n && chars[i] != '\n' {
+                if !is_doc {
+                    comments[line].push(chars[i]);
+                }
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested). Doc block comments (`/** */`, `/*! */`)
+        // are excluded from directive capture for the same reason.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let is_doc = i + 2 < n && (chars[i + 2] == '*' || chars[i + 2] == '!');
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    if !is_doc {
+                        comments[line].push_str("/*");
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    if !is_doc {
+                        comments[line].push_str("*/");
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] != '\n' && !is_doc {
+                        comments[line].push(chars[i]);
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br"…", br#"…"#.
+        if (c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r')) && !prev_is_ident(&chars, i)
+        {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            let mut j = start;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                // Copy the prefix and opening quote verbatim.
+                for &p in &chars[i..=j] {
+                    code.push(p);
+                }
+                i = j + 1;
+                // Blank until `"` followed by `hashes` hashes.
+                while i < n {
+                    if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a raw string after all (e.g. identifier starting with r).
+            code.push(c);
+            i += 1;
+            continue;
+        }
+        // String literal (including b"…").
+        if c == '"' {
+            code.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    code.push(' '); // the backslash itself is never a newline
+                    i += 1;
+                    blank!(chars[i]); // escaped char (may be a \<newline> continuation)
+                    i += 1;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    break;
+                }
+                blank!(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{1F600}' …
+                code.push('\'');
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        // Skip the escaped char too, so '\'' closes correctly.
+                        code.push(' ');
+                        i += 1;
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                if i < n {
+                    code.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                // Plain char literal 'x'.
+                code.push('\'');
+                code.push(' ');
+                code.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: emit as-is.
+            code.push('\'');
+            i += 1;
+            continue;
+        }
+        if c == '\n' {
+            code.push('\n');
+            line += 1;
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        code.push(c);
+        i += 1;
+    }
+
+    // `lines()` on the original source drives snippet extraction; make the
+    // comment vector cover every line.
+    let line_count = src.lines().count().max(1);
+    while comments.len() < line_count {
+        comments.push(String::new());
+    }
+    Masked { code, comments }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_')
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    if i + hashes >= chars.len() {
+        return false;
+    }
+    (1..=hashes).all(|k| chars[i + k] == '#')
+}
+
+/// Inclusive 1-based line spans of `#[cfg(test)]` items in masked code.
+///
+/// For each `cfg(test)` attribute the span runs from the attribute line to
+/// the closing brace of the item it gates (or to the terminating `;` for
+/// brace-less items like `#[cfg(test)] use …;`).
+pub fn test_spans(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("cfg(test)") {
+        let at = from + pos;
+        from = at + "cfg(test)".len();
+        // Must be inside an attribute: a `#[` before it on the same
+        // logical attribute — approximate by requiring '#' then '[' before
+        // `cfg(test)` with only attribute-ish chars between.
+        let line_start = code[..at].rfind('\n').map_or(0, |p| p + 1);
+        let prefix = &code[line_start..at];
+        if !prefix.trim_start().starts_with("#[") {
+            continue;
+        }
+        let start_line = code[..at].matches('\n').count() + 1;
+        // Find the end of the attribute (its closing ']'), then the item.
+        let mut i = at;
+        while i < bytes.len() && bytes[i] != b']' {
+            i += 1;
+        }
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = code[..=j].matches('\n').count() + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end_line = code[..=j].matches('\n').count() + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= bytes.len() {
+            end_line = code.matches('\n').count() + 1;
+        }
+        spans.push((start_line, end_line));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask("let a = 1; // Instant::now\n/* HashMap */ let b = 2;\n");
+        assert!(!m.code.contains("Instant"));
+        assert!(!m.code.contains("HashMap"));
+        assert!(m.code.contains("let a = 1;"));
+        assert!(m.code.contains("let b = 2;"));
+        assert!(m.comments[0].contains("Instant::now"));
+        assert!(m.comments[1].contains("HashMap"));
+    }
+
+    #[test]
+    fn masks_strings_keeps_quotes() {
+        let m = mask("let s = \"Instant::now()\"; let t = 3;");
+        assert!(!m.code.contains("Instant"));
+        assert!(m.code.contains("let t = 3;"));
+        assert_eq!(m.code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn empty_string_stays_empty() {
+        let m = mask("x.expect(\"\");");
+        assert!(m.code.contains("expect(\"\")"));
+        let m = mask("x.expect(\"msg\");");
+        assert!(!m.code.contains("msg"));
+        assert!(!m.code.contains("expect(\"\")"));
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let m = mask("let s = r#\"thread::spawn\"#; let u = r\"SystemTime\";");
+        assert!(!m.code.contains("thread::spawn"));
+        assert!(!m.code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let m = mask(r#"let s = "a\"HashMap\"b"; let z = 9;"#);
+        assert!(!m.code.contains("HashMap"));
+        assert!(m.code.contains("let z = 9;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) -> char { let c = 'H'; c }");
+        assert!(m.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.code.contains("'H'"));
+        let m = mask(r"let nl = '\n'; let q = 2;");
+        assert!(m.code.contains("let q = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* outer /* HashMap */ still comment */ let v = 1;");
+        assert!(!m.code.contains("HashMap"));
+        assert!(m.code.contains("let v = 1;"));
+    }
+
+    #[test]
+    fn newlines_preserved_for_line_numbers() {
+        let src = "a\n\"multi\nline\nstring\"\nb\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn spans_cover_cfg_test_mod() {
+        let code = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn inner() {}
+}
+pub fn lib2() {}
+";
+        let spans = test_spans(code);
+        assert_eq!(spans, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn spans_cover_braceless_items() {
+        let code = "#[cfg(test)]\nuse foo::bar;\npub fn lib() {}\n";
+        let spans = test_spans(code);
+        assert_eq!(spans, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn unterminated_cfg_test_runs_to_eof() {
+        let code = "#[cfg(test)]\nmod tests {\n    fn x() {}\n";
+        let spans = test_spans(code);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, 1);
+        assert!(spans[0].1 >= 3);
+    }
+}

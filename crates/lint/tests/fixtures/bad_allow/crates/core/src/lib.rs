@@ -1,0 +1,3 @@
+// Fixture: exactly one bad-allow violation (missing mandatory reason).
+// ts-lint: allow(no-wall-clock)
+pub fn noop() {}

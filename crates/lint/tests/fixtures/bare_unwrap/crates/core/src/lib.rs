@@ -1,0 +1,4 @@
+// Fixture: exactly one no-bare-unwrap violation.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

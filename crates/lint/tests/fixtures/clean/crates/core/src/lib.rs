@@ -1,0 +1,11 @@
+// Fixture: zero live findings — one violation suppressed by a
+// well-formed allow directive, plus rule-free code.
+pub fn rtt() -> u128 {
+    // ts-lint: allow(no-wall-clock) -- fixture: measures host RTT, never feeds reports
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn ordered(m: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    m.values().sum()
+}

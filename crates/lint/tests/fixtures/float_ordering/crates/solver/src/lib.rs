@@ -1,0 +1,4 @@
+// Fixture: exactly one float-ordering violation.
+pub fn leq(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some_and(|o| o.is_le())
+}

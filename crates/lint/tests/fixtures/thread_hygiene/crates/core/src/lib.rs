@@ -1,0 +1,5 @@
+// Fixture: exactly one thread-hygiene violation.
+pub fn off_thread() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,4 @@
+// Fixture: exactly one no-unordered-iter violation.
+pub fn sum(m: &std::collections::HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}

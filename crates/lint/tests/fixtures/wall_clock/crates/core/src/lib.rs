@@ -1,0 +1,5 @@
+// Fixture: exactly one no-wall-clock violation.
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

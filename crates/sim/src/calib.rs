@@ -7,7 +7,7 @@
 //! the model. Nothing is hard-coded from the paper: the numbers come from
 //! the same codecs that the `Real` fidelity mode runs inline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ts_compress::Algorithm;
 use ts_mem::PAGE_SIZE;
 use ts_workloads::PageClass;
@@ -29,13 +29,13 @@ pub struct RatioStats {
 /// Calibration table: measured ratios per (algorithm, content class).
 #[derive(Debug, Clone)]
 pub struct Calibration {
-    table: HashMap<(Algorithm, PageClass), RatioStats>,
+    table: BTreeMap<(Algorithm, PageClass), RatioStats>,
 }
 
 impl Calibration {
     /// Build a calibration table by really compressing sample pages.
     pub fn build(seed: u64) -> Self {
-        let mut table = HashMap::new();
+        let mut table = BTreeMap::new();
         let mut buf = vec![0u8; PAGE_SIZE];
         for &algo in &Algorithm::ALL {
             let codec = algo.codec();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # ts-sim — tiered memory system simulator
 //!
@@ -64,7 +65,11 @@ pub enum Fidelity {
 }
 
 /// A destination a page or region can be placed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order (DRAM, then byte tiers, then compressed
+/// tiers by index) so `Placement` can key the ordered maps that report and
+/// batching paths iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Placement {
     /// The DRAM tier.
     Dram,

@@ -528,7 +528,7 @@ impl TieredSystem {
 
     /// Dominant placement of a region (most pages win).
     pub fn region_placement(&self, region: u64) -> Placement {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for p in self.region_pages(region) {
             *counts.entry(self.page_placement(p)).or_insert(0u64) += 1;
         }
@@ -598,8 +598,8 @@ impl TieredSystem {
             return Vec::new();
         }
         let step = (len / 32).max(1) | 1; // Odd stride avoids layout aliasing.
-        let mut counts: std::collections::HashMap<ts_workloads::PageClass, u64> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::BTreeMap<ts_workloads::PageClass, u64> =
+            std::collections::BTreeMap::new();
         let mut n = 0u64;
         let mut p = range.start;
         while p < range.end {
@@ -1246,9 +1246,9 @@ impl TieredSystem {
         // writeback can invalidate it (caught by the stale guard below).
         // A region listed twice would see the first entry's effects, so
         // duplicates take the serial path.
-        let mut seen = std::collections::HashSet::new();
-        let mut batch_of: std::collections::HashMap<Placement, usize> =
-            std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut batch_of: std::collections::BTreeMap<Placement, usize> =
+            std::collections::BTreeMap::new();
         // Batches in first-appearance order of their destination.
         let mut batches: Vec<(Placement, Vec<PageJob>)> = Vec::new();
         let mut plan_pages: Vec<(usize, u64, Residency, Disposition)> = Vec::new();

@@ -92,7 +92,7 @@ pub fn solve_ilp_with_incumbent(
             .copied()
             .map(|v| (v, (relax.x[v] - relax.x[v].round()).abs()))
             .filter(|&(_, f)| f > INT_EPS)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("fractionality is finite"));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match frac_var {
             None => {
                 // Integral: candidate incumbent.

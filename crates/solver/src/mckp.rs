@@ -486,8 +486,7 @@ struct Step {
 /// strictly decreasing, so two distinct steps never compare equal.)
 fn step_cmp(a: &Step, b: &Step) -> Ordering {
     b.eff
-        .partial_cmp(&a.eff)
-        .expect("finite efficiencies")
+        .total_cmp(&a.eff)
         .then_with(|| a.group.cmp(&b.group))
         .then_with(|| a.to_level.cmp(&b.to_level))
 }
@@ -556,14 +555,8 @@ fn lower_hull(items: &[MckpItem]) -> Vec<usize> {
     idx.sort_by(|&a, &b| {
         items[a]
             .tco_cost
-            .partial_cmp(&items[b].tco_cost)
-            .expect("finite")
-            .then(
-                items[a]
-                    .perf_cost
-                    .partial_cmp(&items[b].perf_cost)
-                    .expect("finite"),
-            )
+            .total_cmp(&items[b].tco_cost)
+            .then(items[a].perf_cost.total_cmp(&items[b].perf_cost))
     });
     // Dominance: as tco increases, keep only strictly decreasing perf.
     let mut filtered: Vec<usize> = Vec::new();

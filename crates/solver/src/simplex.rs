@@ -349,6 +349,7 @@ fn run_simplex_bounded(
             let mut cbj = 0.0;
             for i in 0..m {
                 let cb = obj[basis[i]];
+                // ts-lint: allow(float-ordering) -- exact-zero skip of structurally zero coefficients; any nonzero (even subnormal) must take the multiply path
                 if cb != 0.0 {
                     cbj += cb * t[i][j];
                 }

@@ -14,7 +14,7 @@
 //! access densities onto the standard fixed-region grid.
 
 use crate::{HotnessSnapshot, HotnessTracker, RegionCounts, Sampler, TelemetrySource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One adaptive region: a byte range with an access counter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,7 +202,7 @@ impl TelemetrySource for DamonRegions {
     fn end_window(&mut self) -> HotnessSnapshot {
         // Project adaptive-region densities onto the fixed grid.
         let fixed = 1u64 << self.fixed_shift;
-        let mut raw: HashMap<u64, RegionCounts> = HashMap::new();
+        let mut raw: BTreeMap<u64, RegionCounts> = BTreeMap::new();
         for r in &self.regions {
             if r.nr_accesses == 0 {
                 continue;

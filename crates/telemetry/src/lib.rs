@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # ts-telemetry — sampled access profiling (PEBS substitute)
 //!
@@ -35,7 +36,7 @@ pub mod scanner;
 pub use damon::DamonRegions;
 pub use scanner::AccessBitScanner;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A telemetry source: consumes access events, yields cooled hotness per
 /// profile window, and accounts its own modeled CPU cost (daemon tax).
@@ -156,9 +157,9 @@ pub struct HotnessSnapshot {
     /// Monotonic window number (first window = 1).
     pub window: u64,
     /// Region id -> cooled hotness value.
-    map: HashMap<u64, f64>,
+    map: BTreeMap<u64, f64>,
     /// Raw (uncooled) sample counts of this window.
-    raw: HashMap<u64, RegionCounts>,
+    raw: BTreeMap<u64, RegionCounts>,
 }
 
 impl HotnessSnapshot {
@@ -196,7 +197,7 @@ impl HotnessSnapshot {
             return 0.0;
         }
         let mut values: Vec<f64> = self.map.values().copied().collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("hotness is never NaN"));
+        values.sort_by(|a, b| a.total_cmp(b));
         let idx = ((p.clamp(0.0, 100.0) / 100.0) * (values.len() - 1) as f64).round() as usize;
         values[idx]
     }
@@ -209,7 +210,7 @@ impl HotnessSnapshot {
             .filter(|(_, &h)| h >= threshold)
             .map(|(&r, &h)| (r, h))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("hotness is never NaN"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
 
@@ -221,7 +222,7 @@ impl HotnessSnapshot {
             .filter(|(_, &h)| h < threshold)
             .map(|(&r, &h)| (r, h))
             .collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("hotness is never NaN"));
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v
     }
 }
@@ -230,7 +231,7 @@ impl HotnessSnapshot {
 #[derive(Debug, Clone)]
 pub struct HotnessTracker {
     cooling: f64,
-    hotness: HashMap<u64, f64>,
+    hotness: BTreeMap<u64, f64>,
     window: u64,
 }
 
@@ -239,7 +240,7 @@ impl HotnessTracker {
     pub fn new(cooling: f64) -> Self {
         HotnessTracker {
             cooling: cooling.clamp(0.0, 0.999),
-            hotness: HashMap::new(),
+            hotness: BTreeMap::new(),
             window: 0,
         }
     }
@@ -247,7 +248,7 @@ impl HotnessTracker {
     /// Fold one window's raw counts into the cooled hotness and produce a
     /// snapshot. Regions absent this window still cool toward zero; regions
     /// whose hotness decays below a small epsilon are dropped.
-    pub fn fold_window(&mut self, raw: HashMap<u64, RegionCounts>) -> HotnessSnapshot {
+    pub fn fold_window(&mut self, raw: BTreeMap<u64, RegionCounts>) -> HotnessSnapshot {
         self.window += 1;
         // Cool every known region first.
         for h in self.hotness.values_mut() {
@@ -275,7 +276,7 @@ impl HotnessTracker {
 pub struct Profiler {
     config: TelemetryConfig,
     sampler: Sampler,
-    current: HashMap<u64, RegionCounts>,
+    current: BTreeMap<u64, RegionCounts>,
     tracker: HotnessTracker,
     /// Modeled cumulative profiling cost in nanoseconds (Fig. 14 tax).
     pub profiling_cost_ns: f64,
@@ -287,7 +288,7 @@ impl Profiler {
         Profiler {
             config,
             sampler: Sampler::new(config.sample_period),
-            current: HashMap::new(),
+            current: BTreeMap::new(),
             tracker: HotnessTracker::new(config.cooling),
             profiling_cost_ns: 0.0,
         }
@@ -412,7 +413,7 @@ mod tests {
     #[test]
     fn decayed_regions_dropped() {
         let mut t = HotnessTracker::new(0.5);
-        let mut raw = HashMap::new();
+        let mut raw = BTreeMap::new();
         raw.insert(
             5u64,
             RegionCounts {
@@ -423,7 +424,7 @@ mod tests {
         t.fold_window(raw);
         let mut last = 0usize;
         for _ in 0..40 {
-            last = t.fold_window(HashMap::new()).len();
+            last = t.fold_window(BTreeMap::new()).len();
         }
         assert_eq!(last, 0, "fully cooled region should be dropped");
     }
@@ -431,7 +432,7 @@ mod tests {
     #[test]
     fn percentile_thresholds() {
         let mut t = HotnessTracker::new(0.0);
-        let mut raw = HashMap::new();
+        let mut raw = BTreeMap::new();
         for r in 0..100u64 {
             // Hotness 1..=100 (zero-hotness regions are dropped by design).
             raw.insert(
@@ -466,7 +467,7 @@ mod tests {
     #[test]
     fn hot_and_cold_sorted() {
         let mut t = HotnessTracker::new(0.0);
-        let mut raw = HashMap::new();
+        let mut raw = BTreeMap::new();
         for (r, n) in [(1u64, 50u64), (2, 10), (3, 90)] {
             raw.insert(
                 r,

@@ -11,7 +11,7 @@
 //! by their streaks across windows.
 
 use crate::{HotnessSnapshot, HotnessTracker, RegionCounts, TelemetrySource};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// ACCESSED-bit scanner over a fixed-size address space.
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ pub struct AccessBitScanner {
     total_regions: u64,
     /// Modeled cost of scanning + clearing one region's PTEs, in ns.
     pub scan_cost_per_region_ns: f64,
-    touched: HashSet<u64>,
+    touched: BTreeSet<u64>,
     tracker: HotnessTracker,
     cost_ns: f64,
 }
@@ -37,7 +37,7 @@ impl AccessBitScanner {
             region_shift,
             total_regions,
             scan_cost_per_region_ns: Self::DEFAULT_SCAN_COST_PER_REGION_NS,
-            touched: HashSet::new(),
+            touched: BTreeSet::new(),
             tracker: HotnessTracker::new(cooling),
             cost_ns: 0.0,
         }
@@ -53,8 +53,8 @@ impl TelemetrySource for AccessBitScanner {
     fn end_window(&mut self) -> HotnessSnapshot {
         // One full scan of the address space per window, touched or not.
         self.cost_ns += self.total_regions as f64 * self.scan_cost_per_region_ns;
-        let mut raw = HashMap::with_capacity(self.touched.len());
-        for region in self.touched.drain() {
+        let mut raw = BTreeMap::new();
+        for region in std::mem::take(&mut self.touched) {
             // Binary signal: the scanner cannot count accesses.
             raw.insert(
                 region,

@@ -10,7 +10,7 @@
 
 use crate::tier::{CompressedTier, StoredPage};
 use crate::{ZswapError, ZswapResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// A slot on the swap device holding one written-back page.
@@ -20,7 +20,7 @@ pub struct SwapSlot(pub u64);
 /// Modeled swap block device.
 #[derive(Debug, Default)]
 pub struct SwapDevice {
-    slots: HashMap<u64, Vec<u8>>,
+    slots: BTreeMap<u64, Vec<u8>>,
     next: u64,
     /// Cumulative writeback writes.
     pub writes: u64,

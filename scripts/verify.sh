@@ -15,4 +15,7 @@ cargo test --workspace --offline --locked
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 
+echo "== ts-lint (determinism/robustness rules, budget ratchet) =="
+cargo run --release --offline --locked -p ts-lint
+
 echo "verify: OK"
